@@ -1,0 +1,100 @@
+//! Discovery-engine micro-benchmarks: task-submission throughput under
+//! each optimization set, and a full re-discovery vs a persistent
+//! template rebuild.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ptdg_core::access::AccessMode;
+use ptdg_core::graph::{DiscoveryEngine, GraphTemplate, TemplateRecorder};
+use ptdg_core::handle::{DataHandle, HandleSpace};
+use ptdg_core::opts::OptConfig;
+use ptdg_core::task::TaskSpec;
+use std::hint::black_box;
+
+const N_TASKS: usize = 2_000;
+
+fn make_specs() -> (HandleSpace, Vec<TaskSpec>) {
+    let mut space = HandleSpace::new();
+    let handles: Vec<DataHandle> = (0..64).map(|_| space.region("h", 4096)).collect();
+    let shared = space.region("shared", 4096);
+    let specs = (0..N_TASKS)
+        .map(|i| {
+            let mut spec = TaskSpec::new("bench")
+                .depend(handles[i % 64], AccessMode::InOut)
+                .depend(handles[(i + 1) % 64], AccessMode::In);
+            // every 8th task touches the shared region as inoutset, giving
+            // (c) something to do
+            if i % 8 == 0 {
+                spec = spec.depend(shared, AccessMode::InOutSet);
+            } else if i % 8 == 1 {
+                spec = spec.depend(shared, AccessMode::In);
+            }
+            spec
+        })
+        .collect();
+    (space, specs)
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let (_space, specs) = make_specs();
+    let mut group = c.benchmark_group("discovery_throughput");
+    group.throughput(Throughput::Elements(N_TASKS as u64));
+    group.sample_size(20);
+    for (label, opts) in [
+        ("none", OptConfig::none()),
+        ("dedup_b", OptConfig::dedup_only()),
+        ("redirect_c", OptConfig::redirect_only()),
+        ("all_bc", OptConfig::all()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, &opts| {
+            b.iter(|| {
+                let mut eng = DiscoveryEngine::new(opts);
+                let mut rec = TemplateRecorder::new(false);
+                for spec in &specs {
+                    eng.submit(&mut rec, black_box(spec));
+                }
+                black_box(eng.stats())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_persistent_reinstance(c: &mut Criterion) {
+    let (_space, specs) = make_specs();
+    // capture once
+    let mut eng = DiscoveryEngine::new(OptConfig::all());
+    let mut rec = TemplateRecorder::new(false);
+    for spec in &specs {
+        eng.submit(&mut rec, spec);
+    }
+    let template: GraphTemplate = rec.finish();
+
+    let mut group = c.benchmark_group("rediscover_vs_reinstance");
+    group.throughput(Throughput::Elements(N_TASKS as u64));
+    group.sample_size(20);
+    group.bench_function("full_rediscovery", |b| {
+        b.iter(|| {
+            let mut eng = DiscoveryEngine::new(OptConfig::all());
+            let mut rec = TemplateRecorder::new(false);
+            for spec in &specs {
+                eng.submit(&mut rec, black_box(spec));
+            }
+            black_box(rec.finish().n_edges())
+        })
+    });
+    group.bench_function("template_reset_walk", |b| {
+        // the persistent re-instance analogue: walk every node, read its
+        // indegree (the counter reset) and firstprivate size (the memcpy)
+        b.iter(|| {
+            let mut total = 0u64;
+            for id in template.ids() {
+                total += template.indegree(id) as u64 + template.node(id).fp_bytes as u64;
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery, bench_persistent_reinstance);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Memory-model micro-benchmarks: LRU probe cost and whole-footprint
+//! touches (the per-task cost paid by the virtual executor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ptdg_memsim::{BlockRange, LruCache, MemConfig, MemoryHierarchy};
+use std::hint::black_box;
+
+fn bench_lru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_access");
+    group.throughput(Throughput::Elements(10_000));
+    group.sample_size(20);
+    for (label, working_set) in [("hits", 1_000u64), ("thrash", 100_000u64)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &working_set,
+            |b, &ws| {
+                let mut cache = LruCache::new(2048);
+                let mut x = 1u64;
+                b.iter(|| {
+                    let mut hits = 0u32;
+                    for _ in 0..10_000 {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        if cache.access((x >> 33) % ws) {
+                            hits += 1;
+                        }
+                    }
+                    black_box(hits)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchy_footprint_touch");
+    // a typical task footprint: ~64 blocks across 4 ranges
+    let footprint = [
+        BlockRange::new(0, 16),
+        BlockRange::new(1000, 16),
+        BlockRange::new(2000, 16),
+        BlockRange::new(3000, 16),
+    ];
+    group.throughput(Throughput::Elements(64));
+    group.sample_size(20);
+    group.bench_function("touch_64_blocks", |b| {
+        let mut h = MemoryHierarchy::new(MemConfig::default(), 4);
+        let mut core = 0usize;
+        b.iter(|| {
+            core = (core + 1) % 4;
+            black_box(h.touch_footprint(core, &footprint))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lru, bench_hierarchy);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Simulated-interconnect micro-benchmarks: P2P matching throughput and
+//! collective round turnover.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ptdg_simcore::SimTime;
+use ptdg_simmpi::{NetConfig, Network};
+use std::hint::black_box;
+
+fn bench_p2p(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    const N: u64 = 2_000;
+    group.throughput(Throughput::Elements(N));
+    group.sample_size(20);
+    group.bench_function("p2p_post_and_match", |b| {
+        b.iter(|| {
+            let mut net = Network::new(NetConfig::default(), 2);
+            let mut completions = 0usize;
+            for i in 0..N {
+                let t = SimTime::from_ns(i * 10);
+                let (_, c1) = net.post_isend(t, 0, 1, (i % 8) as u32 + 8 * (i as u32 / 8), 4096);
+                let (_, c2) =
+                    net.post_irecv(t, 0, 1, (i % 8) as u32 + 8 * (i as u32 / 8), 4096);
+                completions += c1.len() + c2.len();
+            }
+            black_box(completions)
+        })
+    });
+    group.bench_function("allreduce_rounds_64_ranks", |b| {
+        b.iter(|| {
+            let mut net = Network::new(NetConfig::default(), 64);
+            let mut completions = 0usize;
+            for round in 0..16u64 {
+                for rank in 0..64u32 {
+                    let (_, comps) =
+                        net.post_iallreduce(SimTime::from_ns(round * 1000 + rank as u64), rank, 8);
+                    completions += comps.len();
+                }
+            }
+            black_box(completions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_p2p);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! §4.4 — tile Cholesky: the persistent graph accelerates discovery ~5x
+//! asymptotically across repeated factorizations, while (a)/(b)/(c) and
+//! total time are unaffected (dense regular scheme, coarse tasks).
+//!
+//! ```sh
+//! cargo run --release -p ptdg-bench --bin cholesky
+//! ```
+
+use ptdg_bench::{quick, rule, s};
+use ptdg_cholesky::{CholeskyConfig, CholeskyTask};
+use ptdg_core::opts::OptConfig;
+use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
+
+fn main() {
+    let machine = MachineConfig::skylake_24();
+    let (nt, b) = if quick() { (12, 64) } else { (24, 192) };
+
+    println!("Tile Cholesky nt={nt}, b={b} (n = {}) on a simulated 24-core node", nt * b);
+
+    // (a)/(b)/(c) neutrality: identical edges and totals.
+    println!("\nedge-optimization neutrality (single factorization):");
+    println!("{:>14} {:>10} {:>12} {:>10}", "opts", "edges", "redirects", "total(s)");
+    rule(50);
+    for (label, opts) in [
+        ("none", OptConfig::none()),
+        ("(b)", OptConfig::dedup_only()),
+        ("(c)", OptConfig::redirect_only()),
+        ("(b)+(c)", OptConfig::all()),
+    ] {
+        let cfg = CholeskyConfig::single(nt, b, 1);
+        let prog = CholeskyTask::new(cfg);
+        let sim = SimConfig {
+            opts,
+            ..Default::default()
+        };
+        let r = simulate_tasks(&machine, &sim, &prog.space, &prog);
+        println!(
+            "{label:>14} {:>10} {:>12} {:>10}",
+            r.rank(0).disc.edges_attempted(),
+            r.rank(0).disc.redirect_nodes,
+            s(r.total_time_s())
+        );
+    }
+
+    // persistent-graph discovery speedup vs iteration count
+    println!("\npersistent graph across repeated factorizations:");
+    println!(
+        "{:>6} {:>15} {:>16} {:>9} {:>12} {:>12}",
+        "iters", "streaming(ms)", "persistent(ms)", "speedup", "total(s)", "total+p(s)"
+    );
+    rule(76);
+    for iters in [1u64, 2, 4, 8, 16] {
+        let cfg = CholeskyConfig::single(nt, b, iters);
+        let prog = CholeskyTask::new(cfg);
+        let base = simulate_tasks(&machine, &SimConfig::default(), &prog.space, &prog);
+        let pers = simulate_tasks(
+            &machine,
+            &SimConfig {
+                persistent: true,
+                ..Default::default()
+            },
+            &prog.space,
+            &prog,
+        );
+        println!(
+            "{iters:>6} {:>15.2} {:>16.2} {:>8.1}x {:>12} {:>12}",
+            base.rank(0).discovery_ns as f64 / 1e6,
+            pers.rank(0).discovery_ns as f64 / 1e6,
+            base.rank(0).discovery_ns as f64 / pers.rank(0).discovery_ns as f64,
+            s(base.total_time_s()),
+            s(pers.total_time_s()),
+        );
+    }
+
+    // distributed variant: 1-D cyclic panels over 4 ranks
+    let cfg = CholeskyConfig {
+        n_ranks: 4,
+        ..CholeskyConfig::single(nt, b, 4)
+    };
+    let prog = CholeskyTask::new(cfg);
+    let sim = SimConfig {
+        n_ranks: 4,
+        persistent: true,
+        ..Default::default()
+    };
+    let r = simulate_tasks(&machine, &sim, &prog.space, &prog);
+    println!(
+        "\ndistributed (4 ranks, 1-D cyclic panels): total {} s, comm rank0 {} s",
+        s(r.total_time_s()),
+        s(r.rank(0).comm_s())
+    );
+    println!(
+        "\n(paper: ~5x asymptotic discovery speedup with (p); no measurable\n\
+         total-time impact — 269 s vs 274 s on 768 cores — because coarse\n\
+         regular tiles make discovery <2% of the run; (a)/(b)/(c) find\n\
+         nothing to remove in the dense scheme)"
+    );
+}

@@ -1,0 +1,113 @@
+//! Fig. 2 — profiled intra-node LULESH on the MPC-like runtime, all six
+//! panels: (a) tasks & edges, (b) per-task grain & overhead, (c) time
+//! breakdown + discovery, (d) work-time inflation, (e) cache misses,
+//! (f) stall cycles.
+//!
+//! ```sh
+//! cargo run --release -p ptdg-bench --bin fig2
+//! ```
+
+use ptdg_bench::{quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP};
+use ptdg_lulesh::{LuleshConfig, LuleshTask};
+use ptdg_simrt::{simulate_tasks, MachineConfig, RankReport, SimConfig};
+
+fn main() {
+    let machine = MachineConfig::skylake_24();
+    let (mesh_s, iters) = if quick() { (48, 2) } else { (INTRA_S, INTRA_ITERS) };
+    println!("Fig. 2 — LULESH -s {mesh_s} -i {iters}, MPC-like runtime (opts (b)+(c), unfused deps)");
+
+    let mut rows: Vec<(usize, RankReport, f64)> = Vec::new();
+    for &tpl in TPL_SWEEP {
+        let cfg = LuleshConfig {
+            fused_deps: false,
+            ..LuleshConfig::single(mesh_s, iters, tpl)
+        };
+        let prog = LuleshTask::new(cfg);
+        let r = simulate_tasks(&machine, &SimConfig::default(), &prog.space, &prog);
+        rows.push((tpl, r.rank(0).clone(), r.total_time_s()));
+    }
+
+    println!("\n(a) tasks and edges discovered");
+    println!("{:>6} {:>10} {:>12} {:>14}", "TPL", "tasks", "edges", "edges(struct.)");
+    rule(46);
+    for (tpl, r, _) in &rows {
+        println!(
+            "{tpl:>6} {:>10} {:>12} {:>14}",
+            r.disc.tasks,
+            r.disc.edges_created,
+            r.disc.edges_attempted()
+        );
+    }
+
+    println!("\n(b) per-task grain and overhead (µs)");
+    println!("{:>6} {:>10} {:>10}", "TPL", "work/task", "ovh/task");
+    rule(28);
+    for (tpl, r, _) in &rows {
+        println!(
+            "{tpl:>6} {:>10.1} {:>10.1}",
+            r.mean_grain_s() * 1e6,
+            r.mean_overhead_s() * 1e6
+        );
+    }
+
+    println!("\n(c) time breakdown, averaged per core (s)");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "TPL", "work/c", "idle/c", "ovh/c", "discovery", "total"
+    );
+    rule(56);
+    for (tpl, r, total) in &rows {
+        println!(
+            "{tpl:>6} {:>9} {:>9} {:>9} {:>10} {:>9}",
+            s(r.avg_work_s()),
+            s(r.avg_idle_s()),
+            s(r.avg_overhead_s()),
+            s(r.discovery_s()),
+            s(*total)
+        );
+    }
+
+    println!("\n(d) work-time inflation (vs the least-inflated TPL)");
+    let min_work = rows
+        .iter()
+        .map(|(_, r, _)| r.work_ns as f64)
+        .fold(f64::INFINITY, f64::min);
+    println!("{:>6} {:>10}", "TPL", "inflation");
+    rule(18);
+    for (tpl, r, _) in &rows {
+        println!("{tpl:>6} {:>10.3}", r.work_ns as f64 / min_work);
+    }
+
+    println!("\n(e) cache misses (millions)");
+    println!("{:>6} {:>10} {:>10} {:>10}", "TPL", "L1DCM", "L2DCM", "L3CM");
+    rule(40);
+    for (tpl, r, _) in &rows {
+        println!(
+            "{tpl:>6} {:>10.2} {:>10.2} {:>10.2}",
+            r.cache.l1_misses as f64 / 1e6,
+            r.cache.l2_misses as f64 / 1e6,
+            r.cache.l3_misses as f64 / 1e6
+        );
+    }
+
+    println!("\n(f) stall cycles (billions)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "TPL", "L1", "L2", "L3", "total"
+    );
+    rule(52);
+    for (tpl, r, _) in &rows {
+        println!(
+            "{tpl:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            r.stalls.l1 as f64 / 1e9,
+            r.stalls.l2 as f64 / 1e9,
+            r.stalls.l3 as f64 / 1e9,
+            r.stalls.total() as f64 / 1e9
+        );
+    }
+
+    println!(
+        "\n(paper shape: middle grains deflate work time via fewer L3 misses;\n\
+         fine grains become discovery-bound — idle grows, reuse degrades)"
+    );
+}

@@ -1,0 +1,82 @@
+//! Fig. 9 — HPCG across the vector-block (TPL) sweep: time breakdown,
+//! communication time and overlap, average edges per task and task grain.
+//!
+//! The paper runs 32 ranks of 24 threads; we simulate an 8-rank cubic job
+//! on the 24-core node model with SpMV sub-blocking fixed by the stencil
+//! reach, as in our port.
+//!
+//! ```sh
+//! cargo run --release -p ptdg-bench --bin fig9
+//! ```
+
+use ptdg_bench::{quick, rule, s};
+use ptdg_hpcg::{HpcgBsp, HpcgConfig, HpcgTask};
+use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
+
+fn main() {
+    let machine = MachineConfig::skylake_24();
+    let (nx, iters, ranks, sweep): (usize, u64, u32, &[usize]) = if quick() {
+        (128, 4, 8, &[96, 240, 480])
+    } else {
+        (128, 6, 8, &[24, 48, 96, 144, 240, 384, 480, 768, 960, 1536])
+    };
+
+    let base = HpcgConfig {
+        px: 2,
+        ..HpcgConfig::single(nx, iters, 1)
+    };
+    let sim0 = SimConfig {
+        n_ranks: ranks,
+        work_jitter: 0.05,
+        ..Default::default()
+    };
+    let bsp_prog = HpcgBsp::new(base);
+    let bsp = simulate_bsp(&machine, &sim0, &bsp_prog.space, &bsp_prog);
+    println!("Fig. 9 — HPCG n={nx}³/rank, {iters} CG iterations on {ranks} ranks × 24 cores");
+    println!("parallel-for reference: {} s\n", s(bsp.total_time_s()));
+
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>10} {:>9} | {:>8} {:>7} | {:>10} {:>10}",
+        "TPL", "work/c", "idle/c", "ovh/c", "discovery", "total", "comm(s)", "ovl%", "edges/task", "grain(µs)"
+    );
+    rule(110);
+    let mut best = (0usize, f64::INFINITY);
+    for &tpl in sweep {
+        let cfg = HpcgConfig {
+            px: 2,
+            ..HpcgConfig::single(nx, iters, tpl)
+        };
+        let prog = HpcgTask::new(cfg);
+        let r = simulate_tasks(&machine, &sim0, &prog.space, &prog);
+        let rank = r.rank(0);
+        let total = r.total_time_s();
+        if total < best.1 {
+            best = (tpl, total);
+        }
+        println!(
+            "{tpl:>6} {:>9} {:>9} {:>9} {:>10} {:>9} | {:>8} {:>6.0}% | {:>10.1} {:>10.1}",
+            s(rank.avg_work_s()),
+            s(rank.avg_idle_s()),
+            s(rank.avg_overhead_s()),
+            s(rank.discovery_s()),
+            s(total),
+            s(rank.comm_s()),
+            100.0 * rank.overlap_ratio(),
+            rank.disc.edges_attempted() as f64 / rank.disc.tasks as f64,
+            rank.mean_grain_s() * 1e6,
+        );
+    }
+    rule(110);
+    println!(
+        "best TPL = {} at {} s ({:.2}x vs parallel-for)",
+        best.0,
+        s(best.1),
+        bsp.total_time_s() / best.1
+    );
+    println!(
+        "(paper: best total at TPL=144 (~1 ms grain) for 1.1x over parallel\n\
+         for; the best *work* time needs the finest 80 µs grain but loses it\n\
+         to runtime contention; overlap ratio stays <=23% — HPCG simply has\n\
+         too little communication to hide; edges/task grows with refinement)"
+    );
+}

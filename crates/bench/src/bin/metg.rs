@@ -1,0 +1,58 @@
+//! §3.3 — Minimum Effective Task Granularity (Task Bench metric):
+//! `METG(95%)` is the smallest average task grain at which an execution
+//! still reaches 95% of the best efficiency measured across the sweep.
+//!
+//! ```sh
+//! cargo run --release -p ptdg-bench --bin metg
+//! ```
+
+use ptdg_bench::{quick, rule, s};
+use ptdg_core::opts::OptConfig;
+use ptdg_lulesh::{LuleshConfig, LuleshTask};
+use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
+
+fn main() {
+    let machine = MachineConfig::skylake_24();
+    let (mesh_s, iters) = if quick() { (48, 2) } else { (96, 4) };
+    let sweep: &[usize] = if quick() {
+        &[24, 48, 96, 192, 384]
+    } else {
+        &[24, 48, 96, 144, 192, 256, 384, 512, 768, 1024, 1536]
+    };
+
+    println!("METG — LULESH -s {mesh_s} -i {iters}, optimized runtime ((a)+(b)+(c)+(p))");
+    println!("{:>6} {:>12} {:>10} {:>12}", "TPL", "grain(µs)", "total(s)", "efficiency");
+    rule(44);
+
+    let mut rows: Vec<(usize, f64, f64)> = Vec::new();
+    for &tpl in sweep {
+        let cfg = LuleshConfig::single(mesh_s, iters, tpl);
+        let prog = LuleshTask::new(cfg);
+        let sim = SimConfig {
+            opts: OptConfig::all(),
+            persistent: true,
+            ..Default::default()
+        };
+        let r = simulate_tasks(&machine, &sim, &prog.space, &prog);
+        rows.push((tpl, r.rank(0).mean_grain_s() * 1e6, r.total_time_s()));
+    }
+    let best = rows.iter().map(|&(_, _, t)| t).fold(f64::INFINITY, f64::min);
+    let mut metg: Option<f64> = None;
+    for &(tpl, grain, total) in &rows {
+        let eff = best / total;
+        println!("{tpl:>6} {:>12.1} {:>10} {:>11.0}%", grain, s(total), eff * 100.0);
+        if eff >= 0.95 {
+            metg = Some(metg.map_or(grain, |m: f64| m.min(grain)));
+        }
+    }
+    rule(44);
+    match metg {
+        Some(g) => println!("METG(95%) = {g:.0} µs"),
+        None => println!("METG(95%): no configuration reached 95% efficiency"),
+    }
+    println!(
+        "(paper: 65 µs with 9,216 TPL on the optimized runtime — 1.5 orders\n\
+         of magnitude below the ~1 ms reported for production OpenMP\n\
+         runtimes in Task Bench)"
+    );
+}

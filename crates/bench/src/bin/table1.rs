@@ -1,0 +1,78 @@
+//! Table 1 — impact of the task-graph discovery on the work time:
+//! overlapped ("Normal") vs fully-unrolled-first ("Non overlapped")
+//! execution at the best and finest grains.
+//!
+//! ```sh
+//! cargo run --release -p ptdg-bench --bin table1
+//! ```
+
+use ptdg_bench::{quick, rule, INTRA_ITERS, INTRA_S};
+use ptdg_lulesh::{LuleshConfig, LuleshTask};
+use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
+
+fn main() {
+    let machine = MachineConfig::skylake_24();
+    let (mesh_s, iters) = if quick() { (48, 2) } else { (INTRA_S, INTRA_ITERS) };
+    let (best_tpl, fine_tpl) = if quick() { (96, 384) } else { (192, 768) };
+
+    println!("Table 1 — LULESH -s {mesh_s} -i {iters}: discovery overlap vs full knowledge");
+    println!(
+        "{:>22} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "instance", "idle(s)", "work(s)", "L2DCM(M)", "L3CM(M)", "total(s)"
+    );
+    rule(78);
+    for (tpl, non_overlapped, tag) in [
+        (best_tpl, false, "Normal"),
+        (fine_tpl, false, "Normal"),
+        (fine_tpl, true, "Non overlapped"),
+    ] {
+        let cfg = LuleshConfig {
+            fused_deps: false,
+            ..LuleshConfig::single(mesh_s, iters, tpl)
+        };
+        let prog = LuleshTask::new(cfg);
+        let sim = SimConfig {
+            non_overlapped,
+            ..Default::default()
+        };
+        let r = simulate_tasks(&machine, &sim, &prog.space, &prog);
+        let rank = r.rank(0);
+        // The paper's idle metric covers the *parallel execution* only; in
+        // the non-overlapped configuration the cores' wait during the
+        // serial unroll is excluded (it is reported through the total).
+        let idle = if non_overlapped {
+            (rank.idle_ns as f64 * 1e-9 - rank.n_cores as f64 * rank.discovery_s()).max(0.0)
+        } else {
+            rank.total_idle_s()
+        };
+        println!(
+            "{:>15} TPL {tpl:>5} {:>10.3} {:>10.3} {:>10.2} {:>10.2} {:>10.3}",
+            tag,
+            idle,
+            rank.total_work_s(),
+            rank.cache.l2_misses as f64 / 1e6,
+            rank.cache.l3_misses as f64 / 1e6,
+            r.total_time_s()
+        );
+    }
+    rule(78);
+    println!(
+        "(paper: at the finest grain, full TDG knowledge cuts L2 misses −15%,\n\
+         L3 misses −42% and work time −32%, and removes idleness — but the\n\
+         serial unrolling makes the total far slower: 357 s vs 112 s)"
+    );
+}
+
+// Cumulated work/idle helpers live on RankReport.
+trait Cumulated {
+    fn total_idle_s(&self) -> f64;
+    fn total_work_s(&self) -> f64;
+}
+impl Cumulated for ptdg_simrt::RankReport {
+    fn total_idle_s(&self) -> f64 {
+        self.idle_ns as f64 * 1e-9
+    }
+    fn total_work_s(&self) -> f64 {
+        self.work_ns as f64 * 1e-9
+    }
+}

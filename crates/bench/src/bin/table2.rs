@@ -1,0 +1,80 @@
+//! Table 2 — the optimization crossing: number of edges, discovery time
+//! and total execution time for every combination of (a), (b), (c) and
+//! finally +(p).
+//!
+//! ```sh
+//! cargo run --release -p ptdg-bench --bin table2
+//! ```
+
+use ptdg_bench::{quick, rule, s, INTRA_ITERS, INTRA_S};
+use ptdg_core::opts::OptConfig;
+use ptdg_lulesh::{LuleshConfig, LuleshTask};
+use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
+
+fn main() {
+    let machine = MachineConfig::skylake_24();
+    // the paper's Table 2 uses -i 16 so the persistent first iteration
+    // amortizes to the reported 15x
+    let (mesh_s, iters, tpl) = if quick() { (48, 4, 96) } else { (INTRA_S, 16, 192) };
+    let _ = INTRA_ITERS;
+    println!("Table 2 — LULESH -s {mesh_s} -i {iters}, TPL={tpl}: graph-optimization crossing");
+    println!(
+        "{:>14} {:>12} {:>14} {:>13} {:>10}",
+        "optimizations", "n° of edges", "edges(struct.)", "discovery(s)", "total(s)"
+    );
+    rule(68);
+
+    let rows: [(&str, bool, OptConfig, bool); 9] = [
+        ("none", false, OptConfig::none(), false),
+        ("(a)", true, OptConfig::none(), false),
+        ("(b)", false, OptConfig::dedup_only(), false),
+        ("(c)", false, OptConfig::redirect_only(), false),
+        ("(a)+(b)", true, OptConfig::dedup_only(), false),
+        ("(a)+(c)", true, OptConfig::redirect_only(), false),
+        ("(b)+(c)", false, OptConfig::all(), false),
+        ("(a)+(b)+(c)", true, OptConfig::all(), false),
+        ("(a)+(b)+(c)+(p)", true, OptConfig::all(), true),
+    ];
+    for (label, fused, opts, persistent) in rows {
+        let cfg = LuleshConfig {
+            fused_deps: fused,
+            ..LuleshConfig::single(mesh_s, iters, tpl)
+        };
+        let prog = LuleshTask::new(cfg);
+        let sim = SimConfig {
+            opts,
+            persistent,
+            ..Default::default()
+        };
+        let r = simulate_tasks(&machine, &sim, &prog.space, &prog);
+        let rank = r.rank(0);
+        // structural = what this configuration would materialize with no
+        // pruning: created + pruned (dup-elided edges never materialize).
+        let structural = rank.disc.edges_created + rank.disc.edges_pruned;
+        println!(
+            "{label:>14} {:>12} {:>14} {:>13} {:>10}",
+            rank.edges_existing,
+            structural,
+            s(rank.discovery_s()),
+            s(r.total_time_s())
+        );
+        if persistent {
+            let later = rank.discovery_ns - rank.discovery_first_iter_ns;
+            println!(
+                "{:>14} first iteration {:.3} s, later ones {:.4} s each",
+                "",
+                rank.discovery_first_iter_ns as f64 * 1e-9,
+                later as f64 * 1e-9 / (iters - 1).max(1) as f64
+            );
+        }
+    }
+    rule(68);
+    println!(
+        "(edges(struct.) is the pruning-independent structural count; the\n\
+         paper's counts are from live runs where a faster discovery prunes\n\
+         fewer edges — the same inversion it reports for (b) vs (a)+(b).\n\
+         Paper: (a)+(b)+(c) = 2.6x fewer edges, discovery 83.4->32.1 s;\n\
+         +(p) discovery 2.12 s — 15x — with first iteration ~10x the rest,\n\
+         and a slightly LONGER total due to the iteration barrier.)"
+    );
+}

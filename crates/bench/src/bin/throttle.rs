@@ -1,0 +1,59 @@
+//! §5 ablation — task throttling: a tight ready-task bound (GCC/LLVM
+//! style) limits the scheduler's vision of the TDG and defeats the
+//! depth-first heuristic; the total-task bound (MPC style) does not.
+//!
+//! ```sh
+//! cargo run --release -p ptdg-bench --bin throttle
+//! ```
+
+use ptdg_bench::{quick, rule, s};
+use ptdg_core::opts::OptConfig;
+use ptdg_core::throttle::ThrottleConfig;
+use ptdg_lulesh::{LuleshConfig, LuleshTask};
+use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
+
+fn main() {
+    let machine = MachineConfig::skylake_24();
+    let (mesh_s, iters, tpl) = if quick() { (48, 2, 96) } else { (96, 4, 192) };
+
+    println!("Throttling ablation — LULESH -s {mesh_s} -i {iters}, TPL={tpl}, all opts");
+    println!(
+        "{:>24} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "throttle", "work/c", "idle/c", "ovh/c", "total(s)", "L3CM(M)"
+    );
+    rule(76);
+    let configs: [(&str, ThrottleConfig); 5] = [
+        ("unbounded", ThrottleConfig::unbounded()),
+        ("ready <= 32", ThrottleConfig::ready_bound(32)),
+        ("ready <= 128", ThrottleConfig::ready_bound(128)),
+        ("ready <= 512", ThrottleConfig::ready_bound(512)),
+        ("total <= 10M (MPC)", ThrottleConfig::mpc_default()),
+    ];
+    for (label, throttle) in configs {
+        let cfg = LuleshConfig::single(mesh_s, iters, tpl);
+        let prog = LuleshTask::new(cfg);
+        let sim = SimConfig {
+            opts: OptConfig::all(),
+            persistent: true,
+            throttle,
+            ..Default::default()
+        };
+        let r = simulate_tasks(&machine, &sim, &prog.space, &prog);
+        let rank = r.rank(0);
+        println!(
+            "{label:>24} {:>9} {:>9} {:>9} {:>10} {:>10.2}",
+            s(rank.avg_work_s()),
+            s(rank.avg_idle_s()),
+            s(rank.avg_overhead_s()),
+            s(r.total_time_s()),
+            rank.cache.l3_misses as f64 / 1e6
+        );
+    }
+    rule(76);
+    println!(
+        "(paper §5: GCC/LLVM-style ready-task throttling would deny the\n\
+         scheduler the in-depth TDG vision that fine grains need — ~100,000\n\
+         live tasks per LULESH iteration at the best configuration — while\n\
+         MPC-OMP's total-task bound preserves it)"
+    );
+}

@@ -1,0 +1,102 @@
+//! # ptdg-bench — experiment harnesses
+//!
+//! One binary per table/figure of the paper (see `DESIGN.md` §6 and
+//! `EXPERIMENTS.md`):
+//!
+//! | binary     | reproduces |
+//! |------------|------------|
+//! | `fig1`     | Fig. 1 — intra-node LULESH: execution vs discovery vs TPL |
+//! | `fig2`     | Fig. 2 — tasks/edges, grains, breakdown, inflation, misses, stalls |
+//! | `table1`   | Table 1 — overlapped vs non-overlapped discovery |
+//! | `table2`   | Table 2 — optimization crossing (edges, discovery, total) |
+//! | `fig6`     | Fig. 6 — breakdown with all optimizations |
+//! | `fig7`     | Fig. 7 — distributed LULESH: breakdown + communication + overlap |
+//! | `fig8`     | Fig. 8 — Gantt charts, optimized vs non-optimized |
+//! | `table3`   | Table 3 — weak and strong scaling |
+//! | `fig9`     | Fig. 9 — HPCG TPL sweep |
+//! | `cholesky` | §4.4 — persistent-graph speedup on tile Cholesky |
+//! | `metg`     | §3.3 — minimum effective task granularity |
+//! | `throttle` | §5 — task-throttling ablation |
+//!
+//! Run them with `cargo run --release -p ptdg-bench --bin <name>`.
+//! Criterion micro-benchmarks live under `benches/`.
+//!
+//! All runs are scaled-down but *regime-preserving* versions of the
+//! paper's experiments (the knobs are chosen so the same mechanism —
+//! discovery-boundness, cache thrash, rendezvous stalls — governs each
+//! result; see `EXPERIMENTS.md` for the mapping and measured numbers).
+
+use ptdg_simrt::RankReport;
+
+/// Whether `PTDG_QUICK=1` is set: harnesses shrink their problem sizes
+/// for smoke-testing (results keep their shape but lose fidelity).
+pub fn quick() -> bool {
+    std::env::var("PTDG_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The standard intra-node sweep of tasks-per-loop values (the paper
+/// sweeps 48..4608 at `-s 384`; scaled to our `-s 96` mesh).
+pub const TPL_SWEEP: &[usize] = &[24, 48, 96, 144, 192, 256, 384, 512, 768, 1024];
+
+/// The intra-node LULESH problem used by fig1/fig2/fig6/table1/table2
+/// (`-s 96 -i 4`: ~85 MB of arrays per iteration against a 33 MB L3, the
+/// same arrays-to-L3 ratio regime as the paper's `-s 384` filling 78% of
+/// DRAM).
+pub const INTRA_S: usize = 96;
+/// Iterations of the intra-node problem.
+pub const INTRA_ITERS: u64 = 4;
+
+/// Print a horizontal rule sized for `width` columns.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Format seconds with 4 significant decimals.
+pub fn s(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Format a count in millions.
+pub fn millions(v: u64) -> String {
+    format!("{:.2}M", v as f64 / 1e6)
+}
+
+/// Summarize the per-rank breakdown columns used by several harnesses.
+pub fn breakdown_row(label: &str, r: &RankReport, total_s: f64) -> String {
+    format!(
+        "{label:>8} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        s(r.avg_work_s()),
+        s(r.avg_idle_s()),
+        s(r.avg_overhead_s()),
+        s(r.discovery_s()),
+        s(total_s),
+    )
+}
+
+/// Header matching [`breakdown_row`].
+pub fn breakdown_header(key: &str) -> String {
+    format!(
+        "{key:>8} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "work/c", "idle/c", "ovh/c", "discovery", "total"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(s(1.23456), "1.2346");
+        assert_eq!(millions(2_500_000), "2.50M");
+        assert!(breakdown_header("TPL").contains("discovery"));
+        let r = RankReport {
+            n_cores: 2,
+            work_ns: 2_000_000_000,
+            ..Default::default()
+        };
+        let row = breakdown_row("x", &r, 1.5);
+        assert!(row.contains("1.0000"));
+        assert!(row.contains("1.5000"));
+    }
+}

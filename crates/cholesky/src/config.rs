@@ -1,0 +1,78 @@
+//! Cholesky configuration.
+
+/// One run configuration.
+#[derive(Clone, Debug)]
+pub struct CholeskyConfig {
+    /// Tiles per matrix edge.
+    pub nt: usize,
+    /// Tile edge (the paper's block size `b`).
+    pub b: usize,
+    /// Repeated factorizations (iterations of the persistent region).
+    pub iterations: u64,
+    /// Ranks (1-D cyclic panel distribution; 1 = shared memory).
+    pub n_ranks: u32,
+}
+
+impl CholeskyConfig {
+    /// Single-rank configuration.
+    pub fn single(nt: usize, b: usize, iterations: u64) -> CholeskyConfig {
+        CholeskyConfig {
+            nt,
+            b,
+            iterations,
+            n_ranks: 1,
+        }
+    }
+
+    /// Matrix size `n = nt·b`.
+    pub fn n(&self) -> usize {
+        self.nt * self.b
+    }
+
+    /// Lower-triangular tiles (including the diagonal).
+    pub fn n_tiles(&self) -> usize {
+        self.nt * (self.nt + 1) / 2
+    }
+
+    /// Owner rank of panel `k` (1-D cyclic).
+    pub fn owner(&self, k: usize) -> u32 {
+        (k as u32) % self.n_ranks
+    }
+
+    /// Factorization kernels per iteration: potrf + trsm + updates.
+    pub fn kernel_tasks(&self) -> usize {
+        let nt = self.nt;
+        // Σ_k [1 + (nt-1-k) + (nt-1-k)(nt-k)/2]
+        (0..nt)
+            .map(|k| {
+                let m = nt - 1 - k;
+                1 + m + m * (m + 1) / 2
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        let c = CholeskyConfig::single(4, 8, 2);
+        assert_eq!(c.n(), 32);
+        assert_eq!(c.n_tiles(), 10);
+        // k=0: 1+3+6, k=1: 1+2+3, k=2: 1+1+1, k=3: 1
+        assert_eq!(c.kernel_tasks(), 10 + 6 + 3 + 1);
+    }
+
+    #[test]
+    fn cyclic_owner() {
+        let c = CholeskyConfig {
+            n_ranks: 3,
+            ..CholeskyConfig::single(7, 4, 1)
+        };
+        assert_eq!(c.owner(0), 0);
+        assert_eq!(c.owner(4), 1);
+        assert_eq!(c.owner(5), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Dependency access modes and `depend`-clause items.
+
+use crate::handle::DataHandle;
+
+/// OpenMP 5.1 dependence types on a data region.
+///
+/// Semantics (OpenMP 5.1 §2.19.11, as implemented by the discovery engine):
+///
+/// * [`In`](AccessMode::In): ordered after the last writer(s) of the region.
+/// * [`Out`](AccessMode::Out) / [`InOut`](AccessMode::InOut): ordered after
+///   every reader since the last write (or after the last writer(s) when
+///   there are no intervening readers). `Out` and `InOut` are
+///   indistinguishable for ordering purposes and are kept distinct only for
+///   user-code fidelity.
+/// * [`InOutSet`](AccessMode::InOutSet): members of a consecutive
+///   `inoutset` group on the same region may run concurrently with each
+///   other, but any access of a *different* type is ordered against every
+///   member of the group. This is the "concurrent write" of Athapascan /
+///   OmpSs, and the dependence type whose naive implementation produces the
+///   `m·n` edge blow-up that optimization (c) removes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Read access (`depend(in: ...)`).
+    In,
+    /// Write access (`depend(out: ...)`).
+    Out,
+    /// Read-write access (`depend(inout: ...)`).
+    InOut,
+    /// Concurrent-write set access (`depend(inoutset: ...)`).
+    InOutSet,
+}
+
+impl AccessMode {
+    /// Whether this mode writes the region (orders against later readers).
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessMode::In)
+    }
+
+    /// Whether two *consecutive* accesses of these modes on the same region
+    /// may execute concurrently.
+    pub fn concurrent_with(self, other: AccessMode) -> bool {
+        matches!(
+            (self, other),
+            (AccessMode::In, AccessMode::In) | (AccessMode::InOutSet, AccessMode::InOutSet)
+        )
+    }
+}
+
+/// One item of a task's `depend` clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Depend {
+    /// The data region accessed.
+    pub handle: DataHandle,
+    /// How the region is accessed.
+    pub mode: AccessMode,
+}
+
+impl Depend {
+    /// Construct a depend item.
+    pub fn new(handle: DataHandle, mode: AccessMode) -> Self {
+        Depend { handle, mode }
+    }
+
+    /// `depend(in: handle)`.
+    pub fn read(handle: DataHandle) -> Self {
+        Depend::new(handle, AccessMode::In)
+    }
+
+    /// `depend(out: handle)`.
+    pub fn write(handle: DataHandle) -> Self {
+        Depend::new(handle, AccessMode::Out)
+    }
+
+    /// `depend(inout: handle)`.
+    pub fn read_write(handle: DataHandle) -> Self {
+        Depend::new(handle, AccessMode::InOut)
+    }
+
+    /// `depend(inoutset: handle)`.
+    pub fn concurrent_write(handle: DataHandle) -> Self {
+        Depend::new(handle, AccessMode::InOutSet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::HandleSpace;
+
+    #[test]
+    fn write_classification() {
+        assert!(!AccessMode::In.is_write());
+        assert!(AccessMode::Out.is_write());
+        assert!(AccessMode::InOut.is_write());
+        assert!(AccessMode::InOutSet.is_write());
+    }
+
+    #[test]
+    fn concurrency_matrix() {
+        use AccessMode::*;
+        assert!(In.concurrent_with(In));
+        assert!(InOutSet.concurrent_with(InOutSet));
+        for a in [In, Out, InOut, InOutSet] {
+            assert!(!a.concurrent_with(Out));
+            assert!(!a.concurrent_with(InOut));
+            assert!(!Out.concurrent_with(a));
+        }
+        assert!(!In.concurrent_with(InOutSet));
+        assert!(!InOutSet.concurrent_with(In));
+    }
+
+    #[test]
+    fn constructors_set_modes() {
+        let mut s = HandleSpace::new();
+        let h = s.region("r", 64);
+        assert_eq!(Depend::read(h).mode, AccessMode::In);
+        assert_eq!(Depend::write(h).mode, AccessMode::Out);
+        assert_eq!(Depend::read_write(h).mode, AccessMode::InOut);
+        assert_eq!(Depend::concurrent_write(h).mode, AccessMode::InOutSet);
+        assert_eq!(Depend::read(h).handle, h);
+    }
+}

@@ -1,0 +1,106 @@
+//! Back-end-agnostic task submission.
+//!
+//! Applications describe one iteration of their computation as a stream of
+//! [`TaskSpec`]s pushed into a [`TaskSubmitter`]. The same description runs
+//! on the real thread executor (`crate::exec`), on the virtual-time
+//! executor (`ptdg-simrt`), or into a [`crate::graph::TemplateRecorder`] —
+//! the analogue of the same OpenMP pragmas executing on different runtimes.
+
+use crate::task::{TaskId, TaskSpec};
+
+/// Receives the producer thread's sequential task stream.
+pub trait TaskSubmitter {
+    /// Submit one task.
+    fn submit(&mut self, spec: TaskSpec) -> TaskId;
+
+    /// Whether closures are needed — cost-model-only back-ends return
+    /// `false` so applications can skip building bodies.
+    fn wants_bodies(&self) -> bool {
+        true
+    }
+}
+
+/// An application kernel that can generate its task graph iteration by
+/// iteration (the body of the paper's annotated `ptsg` loop).
+///
+/// Implementations must generate tasks **in the same order and with the
+/// same dependency scheme on every iteration** — the precondition of the
+/// persistent-graph optimization (paper Fig. 5). Bodies must read the
+/// iteration number from [`crate::task::TaskCtx::iter`], never capture it.
+pub trait IterationBuilder {
+    /// Generate all tasks of iteration `iter`.
+    fn build_iteration(&self, sub: &mut dyn TaskSubmitter, iter: u64);
+
+    /// Number of iterations this program wants to run.
+    fn iterations(&self) -> u64;
+}
+
+/// A submitter that simply counts tasks — useful for sizing and tests.
+#[derive(Debug, Default)]
+pub struct CountingSubmitter {
+    /// Tasks seen.
+    pub tasks: u64,
+    /// Depend items seen.
+    pub depend_items: u64,
+}
+
+impl TaskSubmitter for CountingSubmitter {
+    fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        let id = TaskId(self.tasks as u32);
+        self.tasks += 1;
+        self.depend_items += spec.depends.len() as u64;
+        id
+    }
+
+    fn wants_bodies(&self) -> bool {
+        false
+    }
+}
+
+/// A submitter that records full specs (testing aid).
+#[derive(Default)]
+pub struct RecordingSubmitter {
+    /// Every submitted spec, in order.
+    pub specs: Vec<TaskSpec>,
+}
+
+impl TaskSubmitter for RecordingSubmitter {
+    fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        let id = TaskId(self.specs.len() as u32);
+        self.specs.push(spec);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::AccessMode;
+    use crate::handle::HandleSpace;
+
+    #[test]
+    fn counting_submitter_counts() {
+        let mut s = HandleSpace::new();
+        let x = s.region("x", 8);
+        let mut c = CountingSubmitter::default();
+        let id0 = c.submit(TaskSpec::new("a").depend(x, AccessMode::Out));
+        let id1 = c.submit(TaskSpec::new("b").depend(x, AccessMode::In));
+        assert_eq!(id0, TaskId(0));
+        assert_eq!(id1, TaskId(1));
+        assert_eq!(c.tasks, 2);
+        assert_eq!(c.depend_items, 2);
+        assert!(!c.wants_bodies());
+    }
+
+    #[test]
+    fn recording_submitter_preserves_order_and_bodies() {
+        let mut r = RecordingSubmitter::default();
+        assert!(r.wants_bodies());
+        r.submit(TaskSpec::new("first").body(|_| {}));
+        r.submit(TaskSpec::new("second"));
+        assert_eq!(r.specs.len(), 2);
+        assert_eq!(r.specs[0].name, "first");
+        assert!(r.specs[0].body.is_some());
+        assert!(r.specs[1].body.is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! Dependency-protected shared data.
+//!
+//! Task bodies running on different workers need mutable access to shared
+//! arrays (mesh fields, vectors, tiles). In OpenMP this is ordinary shared
+//! memory and the `depend` clauses are what make it race-free. [`SharedVec`]
+//! is the Rust equivalent: an interior-mutable array whose *safety contract
+//! is the dependency graph* — two tasks may touch overlapping elements only
+//! if the graph orders them.
+//!
+//! The API is deliberately explicit about this: all element access goes
+//! through [`SharedVec::slice`] / [`SharedVec::slice_mut`], which are safe
+//! to *call* but document that disjointness/ordering is the caller's
+//! obligation, exactly as in any OpenMP program. Property tests in the
+//! applications verify the contract holds by checking deterministic results
+//! across schedulers.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+
+/// A shared, interior-mutable, fixed-length array of `T`.
+///
+/// Cloning shares the underlying storage (it is an `Arc`).
+pub struct SharedVec<T> {
+    data: Arc<Vec<UnsafeCell<T>>>,
+}
+
+// SAFETY: concurrent access is coordinated by the task dependency graph;
+// see the module documentation. `T: Send + Sync` is required so elements
+// may be read/written from any worker.
+unsafe impl<T: Send + Sync> Send for SharedVec<T> {}
+unsafe impl<T: Send + Sync> Sync for SharedVec<T> {}
+
+impl<T> Clone for SharedVec<T> {
+    fn clone(&self) -> Self {
+        SharedVec {
+            data: Arc::clone(&self.data),
+        }
+    }
+}
+
+impl<T: Clone> SharedVec<T> {
+    /// A shared vector of `len` copies of `init`.
+    pub fn new(len: usize, init: T) -> Self {
+        SharedVec {
+            data: Arc::new((0..len).map(|_| UnsafeCell::new(init.clone())).collect()),
+        }
+    }
+}
+
+impl<T> SharedVec<T> {
+    /// Build from an existing vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        SharedVec {
+            data: Arc::new(v.into_iter().map(UnsafeCell::new).collect()),
+        }
+    }
+
+    /// Length of the array.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of `range`.
+    ///
+    /// Safety contract (checked by the *dependency graph*, not the borrow
+    /// checker): no task ordered concurrently with the caller writes any
+    /// element of `range`.
+    #[allow(clippy::mut_from_ref)]
+    pub fn slice(&self, range: std::ops::Range<usize>) -> &[T] {
+        assert!(range.end <= self.len());
+        // SAFETY: see module docs — the task graph serializes conflicting
+        // accesses; UnsafeCell<T> has the same layout as T.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.data[range.start..range.end].as_ptr() as *const T,
+                range.len(),
+            )
+        }
+    }
+
+    /// Mutable view of `range`.
+    ///
+    /// Safety contract: the dependency graph must give the calling task
+    /// exclusive access to `range` (it declared `out`/`inout` on the handle
+    /// covering it, or `inoutset` with member-disjoint writes).
+    #[allow(clippy::mut_from_ref)]
+    pub fn slice_mut(&self, range: std::ops::Range<usize>) -> &mut [T] {
+        assert!(range.end <= self.len());
+        // SAFETY: as above; exclusivity guaranteed by task ordering.
+        unsafe {
+            std::slice::from_raw_parts_mut(
+                self.data[range.start..range.end].as_ptr() as *mut T,
+                range.len(),
+            )
+        }
+    }
+
+    /// Read one element (same contract as [`SharedVec::slice`]).
+    pub fn get(&self, i: usize) -> &T {
+        &self.slice(i..i + 1)[0]
+    }
+
+    /// Write one element (same contract as [`SharedVec::slice_mut`]).
+    pub fn set(&self, i: usize, v: T) {
+        self.slice_mut(i..i + 1)[0] = v;
+    }
+
+    /// Copy out the entire contents (for verification at quiescent points).
+    pub fn snapshot(&self) -> Vec<T>
+    where
+        T: Clone,
+    {
+        self.slice(0..self.len()).to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_read_write() {
+        let v = SharedVec::new(4, 0i64);
+        v.set(2, 42);
+        assert_eq!(*v.get(2), 42);
+        assert_eq!(v.snapshot(), vec![0, 0, 42, 0]);
+        assert_eq!(v.len(), 4);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn from_vec_preserves_contents() {
+        let v = SharedVec::from_vec(vec![1.0f64, 2.0, 3.0]);
+        assert_eq!(v.slice(0..3), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = SharedVec::new(2, 0u32);
+        let b = a.clone();
+        a.set(0, 7);
+        assert_eq!(*b.get(0), 7);
+    }
+
+    #[test]
+    fn disjoint_mut_slices_are_usable_in_parallel() {
+        let v = SharedVec::new(100, 0usize);
+        let v1 = v.clone();
+        let v2 = v.clone();
+        let t1 = std::thread::spawn(move || {
+            for (i, x) in v1.slice_mut(0..50).iter_mut().enumerate() {
+                *x = i;
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            for (i, x) in v2.slice_mut(50..100).iter_mut().enumerate() {
+                *x = 50 + i;
+            }
+        });
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(v.snapshot(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slice_panics() {
+        let v = SharedVec::new(4, 0u8);
+        let _ = v.slice(0..5);
+    }
+}

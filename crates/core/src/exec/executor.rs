@@ -1,0 +1,333 @@
+//! Worker pool and scheduling policies.
+
+use super::node::Node;
+use super::persistent::PersistentRegion;
+use super::session::Session;
+use crate::opts::OptConfig;
+use crate::profile::{Span, SpanKind, Trace};
+use crate::task::TaskCtx;
+use crate::throttle::ThrottleConfig;
+use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Scheduling policy of the worker pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedPolicy {
+    /// The paper's heuristic: newly-ready successors go to the completing
+    /// worker's LIFO deque (run next, reusing warm data); other workers
+    /// steal from the FIFO end. This is what makes fine task grains pay
+    /// off through cache reuse.
+    DepthFirst,
+    /// A single global FIFO queue: tasks run roughly in discovery order.
+    /// This is what a depth-first scheduler degrades into when discovery
+    /// is too slow to keep successors visible (paper §2.3.3).
+    BreadthFirst,
+}
+
+/// Executor configuration.
+#[derive(Clone, Debug)]
+pub struct ExecConfig {
+    /// Worker threads (the producer thread is additional and only helps
+    /// during throttling and `wait_all`).
+    pub n_workers: usize,
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+    /// Producer throttling thresholds.
+    pub throttle: ThrottleConfig,
+    /// Record per-task spans for post-mortem analysis.
+    pub profile: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            n_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            policy: SchedPolicy::DepthFirst,
+            throttle: ThrottleConfig::default(),
+            profile: false,
+        }
+    }
+}
+
+pub(crate) struct Pool {
+    pub injector: Injector<Arc<Node>>,
+    pub stealers: Vec<Stealer<Arc<Node>>>,
+    pub policy: SchedPolicy,
+    /// Tasks created and not yet completed.
+    pub live: AtomicUsize,
+    /// Approximate count of ready, not-yet-started tasks.
+    pub ready: AtomicUsize,
+    pub shutdown: AtomicBool,
+    /// Non-overlapped mode: buffer ready tasks until released.
+    pub gate_held: AtomicBool,
+    pub held: Mutex<Vec<Arc<Node>>>,
+    pub profile: bool,
+    /// Span buffers: one per worker plus one for the producer (last).
+    pub spans: Vec<Mutex<Vec<Span>>>,
+    pub start: Instant,
+    pub last_discovery_ns: AtomicU64,
+}
+
+impl Pool {
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Publish a task that just became ready.
+    pub fn make_ready(&self, node: Arc<Node>, local: Option<&Deque<Arc<Node>>>) {
+        if self.gate_held.load(Ordering::SeqCst) {
+            self.held.lock().push(node);
+            return;
+        }
+        self.ready.fetch_add(1, Ordering::SeqCst);
+        match (self.policy, local) {
+            (SchedPolicy::DepthFirst, Some(deque)) => deque.push(node),
+            _ => self.injector.push(node),
+        }
+    }
+
+    /// Open the gate, flushing buffered ready tasks in discovery order.
+    pub fn release_gate(&self) {
+        if self.gate_held.swap(false, Ordering::SeqCst) {
+            let held = std::mem::take(&mut *self.held.lock());
+            for node in held {
+                self.ready.fetch_add(1, Ordering::SeqCst);
+                self.injector.push(node);
+            }
+        }
+    }
+
+    fn steal_global(&self) -> Option<Arc<Node>> {
+        loop {
+            match self.injector.steal() {
+                Steal::Success(n) => return Some(n),
+                Steal::Empty => return None,
+                Steal::Retry => {}
+            }
+        }
+    }
+
+    fn steal_from(&self, victim: usize) -> Option<Arc<Node>> {
+        loop {
+            match self.stealers[victim].steal() {
+                Steal::Success(n) => return Some(n),
+                Steal::Empty => return None,
+                Steal::Retry => {}
+            }
+        }
+    }
+
+    /// Find a ready task from the perspective of worker `idx` (or the
+    /// producer if `local` is `None`).
+    pub fn find_task(
+        &self,
+        local: Option<&Deque<Arc<Node>>>,
+        idx: usize,
+    ) -> Option<Arc<Node>> {
+        let found = match self.policy {
+            SchedPolicy::DepthFirst => local
+                .and_then(|d| d.pop())
+                .or_else(|| self.steal_global())
+                .or_else(|| {
+                    (0..self.stealers.len())
+                        .map(|k| (idx + 1 + k) % self.stealers.len())
+                        .find_map(|v| self.steal_from(v))
+                }),
+            SchedPolicy::BreadthFirst => self.steal_global(),
+        };
+        if found.is_some() {
+            self.ready.fetch_sub(1, Ordering::SeqCst);
+        }
+        found
+    }
+
+    /// Execute one task on behalf of `worker_idx`.
+    pub fn run_task(
+        &self,
+        node: Arc<Node>,
+        local: Option<&Deque<Arc<Node>>>,
+        worker_idx: usize,
+    ) {
+        let ctx = TaskCtx {
+            task: node.id,
+            iter: node.iter.load(Ordering::SeqCst),
+            worker: worker_idx,
+        };
+        let t0 = if self.profile { self.now_ns() } else { 0 };
+        if let Some(body) = &node.body {
+            body(&ctx);
+        }
+        if self.profile {
+            let t1 = self.now_ns();
+            self.spans[worker_idx].lock().push(Span {
+                worker: worker_idx as u32,
+                start_ns: t0,
+                end_ns: t1,
+                kind: SpanKind::Work,
+                name: node.name,
+                iter: ctx.iter,
+            });
+        }
+        // Release successors: streaming edges (taken) then persistent ones.
+        let taken = node.complete();
+        for succ in taken {
+            if succ.release_one() {
+                self.make_ready(succ, local);
+            }
+        }
+        if let Some(persistent) = node.persistent_succs.get() {
+            for succ in persistent {
+                if succ.release_one() {
+                    self.make_ready(Arc::clone(succ), local);
+                }
+            }
+        }
+        self.live.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Try to execute one task from outside the worker pool (producer
+    /// helping). Returns whether a task was run.
+    pub fn help_once(&self) -> bool {
+        let n_workers = self.stealers.len();
+        if let Some(node) = self.find_task(None, 0) {
+            self.run_task(node, None, n_workers);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn worker_loop(pool: Arc<Pool>, idx: usize, deque: Deque<Arc<Node>>) {
+    loop {
+        if let Some(node) = pool.find_task(Some(&deque), idx) {
+            pool.run_task(node, Some(&deque), idx);
+        } else if pool.shutdown.load(Ordering::SeqCst) {
+            // Drain once more to avoid losing tasks racing with shutdown.
+            if let Some(node) = pool.find_task(Some(&deque), idx) {
+                pool.run_task(node, Some(&deque), idx);
+            } else {
+                return;
+            }
+        } else {
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+/// The work-stealing executor: a pool of worker threads plus entry points
+/// for sessions and persistent regions.
+pub struct Executor {
+    pool: Arc<Pool>,
+    cfg: ExecConfig,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawn an executor with `cfg.n_workers` worker threads.
+    pub fn new(cfg: ExecConfig) -> Executor {
+        assert!(cfg.n_workers >= 1, "need at least one worker");
+        let deques: Vec<Deque<Arc<Node>>> = (0..cfg.n_workers).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(|d| d.stealer()).collect();
+        let pool = Arc::new(Pool {
+            injector: Injector::new(),
+            stealers,
+            policy: cfg.policy,
+            live: AtomicUsize::new(0),
+            ready: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            gate_held: AtomicBool::new(false),
+            held: Mutex::new(Vec::new()),
+            profile: cfg.profile,
+            spans: (0..cfg.n_workers + 1).map(|_| Mutex::new(Vec::new())).collect(),
+            start: Instant::now(),
+            last_discovery_ns: AtomicU64::new(0),
+        });
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(idx, deque)| {
+                let pool = Arc::clone(&pool);
+                std::thread::Builder::new()
+                    .name(format!("ptdg-worker-{idx}"))
+                    .spawn(move || worker_loop(pool, idx, deque))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Executor { pool, cfg, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.cfg.n_workers
+    }
+
+    /// The configuration this executor was built with.
+    pub fn config(&self) -> &ExecConfig {
+        &self.cfg
+    }
+
+    pub(crate) fn pool(&self) -> &Arc<Pool> {
+        &self.pool
+    }
+
+    /// Start a discovery/execution session (overlapped: tasks run while
+    /// later tasks are still being discovered).
+    pub fn session(&self, opts: OptConfig) -> Session<'_> {
+        Session::new(self, opts, false, false)
+    }
+
+    /// Start a *non-overlapped* session (paper Table 1): all ready tasks
+    /// are held until `wait_all`, so the graph is fully discovered before
+    /// execution starts.
+    pub fn session_non_overlapped(&self, opts: OptConfig) -> Session<'_> {
+        Session::new(self, opts, true, false)
+    }
+
+    /// Start a persistent region (optimization (p)).
+    pub fn persistent_region(&self, opts: OptConfig) -> PersistentRegion<'_> {
+        PersistentRegion::new(self, opts)
+    }
+
+    /// Collect and clear the recorded trace (requires `cfg.profile`).
+    pub fn take_trace(&self) -> Trace {
+        let mut trace = Trace {
+            n_workers: self.cfg.n_workers + 1,
+            discovery_ns: self.pool.last_discovery_ns.load(Ordering::SeqCst),
+            ..Default::default()
+        };
+        let mut t_min = u64::MAX;
+        let mut t_max = 0u64;
+        for buf in &self.pool.spans {
+            for span in buf.lock().drain(..) {
+                t_min = t_min.min(span.start_ns);
+                t_max = t_max.max(span.end_ns);
+                trace.spans.push(span);
+            }
+        }
+        if t_max > 0 && t_min != u64::MAX {
+            trace.span_ns = t_max - t_min;
+            // Rebase to the first span for readable Gantt output.
+            for s in &mut trace.spans {
+                s.start_ns -= t_min;
+                s.end_ns -= t_min;
+            }
+        }
+        trace
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.pool.release_gate();
+        self.pool.shutdown.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Runtime task nodes.
+
+use crate::task::{TaskBody, TaskId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Mutable graph-side state of a node, guarded by one small lock.
+///
+/// The lock serializes the completion of the predecessor against the
+/// producer attaching new successor edges — the race that makes edge
+/// *pruning* well-defined: an edge requested after completion is pruned.
+#[derive(Default)]
+pub(crate) struct NodeLinks {
+    /// Successors to release on completion.
+    pub succs: Vec<Arc<Node>>,
+    /// Whether the task has completed (this iteration).
+    pub completed: bool,
+}
+
+/// A live task instance.
+pub(crate) struct Node {
+    /// Dense id (profiling / debugging).
+    pub id: TaskId,
+    /// Task name.
+    pub name: &'static str,
+    /// Body to run (None for redirect nodes).
+    pub body: Option<TaskBody>,
+    /// Predecessors not yet completed, plus one "creation token" held by
+    /// the producer until the node is sealed.
+    pub pending: AtomicU32,
+    /// Links + completion flag.
+    pub links: Mutex<NodeLinks>,
+    /// Current iteration (the firstprivate payload a persistent
+    /// re-instance rewrites).
+    pub iter: AtomicU64,
+    /// Successor list of an instanced persistent node. Set once when the
+    /// captured template is instanced; unlike streaming edges these
+    /// survive completion, so re-instancing allocates nothing.
+    pub persistent_succs: OnceLock<Vec<Arc<Node>>>,
+}
+
+impl Node {
+    /// A new node holding its creation token.
+    pub fn new(id: TaskId, name: &'static str, body: Option<TaskBody>, iter: u64) -> Arc<Node> {
+        Arc::new(Node {
+            id,
+            name,
+            body,
+            pending: AtomicU32::new(1), // creation token
+            links: Mutex::new(NodeLinks::default()),
+            iter: AtomicU64::new(iter),
+            persistent_succs: OnceLock::new(),
+        })
+    }
+
+    /// Reset an instanced persistent node for a new iteration: restore its
+    /// dependence counter and rewrite its firstprivate payload (here, the
+    /// iteration number) — the paper's "single memcpy" re-instance cost.
+    pub fn reset_for_iteration(&self, indegree: u32, iter: u64) {
+        self.links.lock().completed = false;
+        self.pending.store(indegree, Ordering::SeqCst);
+        self.iter.store(iter, Ordering::SeqCst);
+    }
+
+    /// Attach an edge `self -> succ`, unless `self` already completed.
+    /// Returns whether the edge was created.
+    pub fn attach_succ(self: &Arc<Node>, succ: &Arc<Node>) -> bool {
+        let mut links = self.links.lock();
+        if links.completed {
+            return false; // pruned
+        }
+        succ.pending.fetch_add(1, Ordering::SeqCst);
+        links.succs.push(Arc::clone(succ));
+        true
+    }
+
+    /// Drop the creation token; returns `true` if the node became ready.
+    pub fn seal(&self) -> bool {
+        self.pending.fetch_sub(1, Ordering::SeqCst) == 1
+    }
+
+    /// Mark completed and take the successor list. Each taken successor's
+    /// `pending` must then be decremented by the caller.
+    pub fn complete(&self) -> Vec<Arc<Node>> {
+        let mut links = self.links.lock();
+        links.completed = true;
+        std::mem::take(&mut links.succs)
+    }
+
+    /// Notify that one predecessor finished; `true` if now ready.
+    pub fn release_one(&self) -> bool {
+        self.pending.fetch_sub(1, Ordering::SeqCst) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creation_token_prevents_premature_ready() {
+        let a = Node::new(TaskId(0), "a", None, 0);
+        let b = Node::new(TaskId(1), "b", None, 0);
+        assert!(a.attach_succ(&b));
+        // b has token + 1 pred = 2 pending; sealing only drops the token.
+        assert!(!b.seal());
+        let succs = a.complete();
+        assert_eq!(succs.len(), 1);
+        assert!(succs[0].release_one(), "b ready after its only pred");
+    }
+
+    #[test]
+    fn edge_to_completed_node_is_pruned() {
+        let a = Node::new(TaskId(0), "a", None, 0);
+        let b = Node::new(TaskId(1), "b", None, 0);
+        a.complete();
+        assert!(!a.attach_succ(&b));
+        assert!(b.seal(), "b is a root: ready on seal");
+    }
+
+    #[test]
+    fn root_ready_on_seal() {
+        let a = Node::new(TaskId(0), "a", None, 0);
+        assert!(a.seal());
+    }
+
+    #[test]
+    fn multiple_preds_release_in_any_order() {
+        let p1 = Node::new(TaskId(0), "p1", None, 0);
+        let p2 = Node::new(TaskId(1), "p2", None, 0);
+        let s = Node::new(TaskId(2), "s", None, 0);
+        p1.attach_succ(&s);
+        p2.attach_succ(&s);
+        assert!(!s.seal());
+        for succ in p2.complete() {
+            assert!(!succ.release_one());
+        }
+        for succ in p1.complete() {
+            assert!(succ.release_one());
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_require_duplicate_releases() {
+        // Without optimization (b), the same (pred, succ) pair may carry
+        // two edges; correctness demands both be released.
+        let p = Node::new(TaskId(0), "p", None, 0);
+        let s = Node::new(TaskId(1), "s", None, 0);
+        p.attach_succ(&s);
+        p.attach_succ(&s);
+        s.seal();
+        let succs = p.complete();
+        assert_eq!(succs.len(), 2);
+        assert!(!succs[0].release_one());
+        assert!(succs[1].release_one());
+    }
+}

@@ -1,0 +1,503 @@
+//! Behavioural tests for the thread executor.
+
+use super::*;
+use crate::access::AccessMode;
+use crate::handle::HandleSpace;
+use crate::opts::OptConfig;
+use crate::task::TaskSpec;
+use crate::throttle::ThrottleConfig;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn exec(workers: usize) -> Executor {
+    Executor::new(ExecConfig {
+        n_workers: workers,
+        policy: SchedPolicy::DepthFirst,
+        throttle: ThrottleConfig::unbounded(),
+        profile: false,
+    })
+}
+
+#[test]
+fn chain_executes_in_order() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(2);
+    let log = Arc::new(AtomicU64::new(0));
+    let mut s = e.session(OptConfig::all());
+    for i in 1..=10u64 {
+        let log = log.clone();
+        s.submit(
+            TaskSpec::new("step")
+                .depend(x, AccessMode::InOut)
+                .body(move |_| {
+                    // each step sees exactly the previous value
+                    let prev = log.load(Ordering::SeqCst);
+                    assert_eq!(prev, i - 1);
+                    log.store(i, Ordering::SeqCst);
+                }),
+        );
+    }
+    s.wait_all();
+    assert_eq!(log.load(Ordering::SeqCst), 10);
+}
+
+#[test]
+fn fan_out_fan_in_runs_all() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let slices: Vec<_> = (0..32).map(|_| space.region("s", 64)).collect();
+    let e = exec(4);
+    let count = Arc::new(AtomicUsize::new(0));
+    let sum = Arc::new(AtomicU64::new(0));
+    let mut s = e.session(OptConfig::all());
+    s.submit(TaskSpec::new("init").depend(x, AccessMode::Out).body({
+        let c = count.clone();
+        move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        }
+    }));
+    for (i, &sl) in slices.iter().enumerate() {
+        let c = count.clone();
+        let sum = sum.clone();
+        s.submit(
+            TaskSpec::new("mid")
+                .depend(x, AccessMode::In)
+                .depend(sl, AccessMode::Out)
+                .body(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    sum.fetch_add(i as u64, Ordering::SeqCst);
+                }),
+        );
+    }
+    let deps: Vec<_> = slices
+        .iter()
+        .map(|&sl| crate::access::Depend::read(sl))
+        .collect();
+    s.submit(TaskSpec::new("join").depends(deps).body({
+        let c = count.clone();
+        let sum = sum.clone();
+        move |_| {
+            // all 32 middles done before the join
+            assert_eq!(sum.load(Ordering::SeqCst), (0..32).sum::<u64>());
+            c.fetch_add(1, Ordering::SeqCst);
+        }
+    }));
+    s.wait_all();
+    assert_eq!(count.load(Ordering::SeqCst), 34);
+}
+
+#[test]
+fn inoutset_members_all_run_before_reader() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(4);
+    let members = Arc::new(AtomicUsize::new(0));
+    let mut s = e.session(OptConfig::all());
+    for _ in 0..8 {
+        let m = members.clone();
+        s.submit(
+            TaskSpec::new("member")
+                .depend(x, AccessMode::InOutSet)
+                .body(move |_| {
+                    m.fetch_add(1, Ordering::SeqCst);
+                }),
+        );
+    }
+    let m = members.clone();
+    s.submit(
+        TaskSpec::new("reader")
+            .depend(x, AccessMode::In)
+            .body(move |_| {
+                assert_eq!(m.load(Ordering::SeqCst), 8, "reader after all members");
+            }),
+    );
+    s.wait_all();
+    assert_eq!(members.load(Ordering::SeqCst), 8);
+}
+
+#[test]
+fn inoutset_without_redirect_optimization_is_equally_correct() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(3);
+    let members = Arc::new(AtomicUsize::new(0));
+    let mut s = e.session(OptConfig::none());
+    for _ in 0..8 {
+        let m = members.clone();
+        s.submit(
+            TaskSpec::new("member")
+                .depend(x, AccessMode::InOutSet)
+                .body(move |_| {
+                    m.fetch_add(1, Ordering::SeqCst);
+                }),
+        );
+    }
+    for _ in 0..4 {
+        let m = members.clone();
+        s.submit(
+            TaskSpec::new("reader")
+                .depend(x, AccessMode::In)
+                .body(move |_| {
+                    assert_eq!(m.load(Ordering::SeqCst), 8);
+                }),
+        );
+    }
+    s.wait_all();
+}
+
+#[test]
+fn breadth_first_policy_completes() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = Executor::new(ExecConfig {
+        n_workers: 2,
+        policy: SchedPolicy::BreadthFirst,
+        throttle: ThrottleConfig::unbounded(),
+        profile: false,
+    });
+    let n = Arc::new(AtomicUsize::new(0));
+    let mut s = e.session(OptConfig::all());
+    for i in 0..50 {
+        let n = n.clone();
+        let mode = if i % 10 == 0 {
+            AccessMode::InOut
+        } else {
+            AccessMode::In
+        };
+        s.submit(TaskSpec::new("t").depend(x, mode).body(move |_| {
+            n.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    s.wait_all();
+    assert_eq!(n.load(Ordering::SeqCst), 50);
+}
+
+#[test]
+fn non_overlapped_session_discovers_before_executing() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(2);
+    let ran = Arc::new(AtomicUsize::new(0));
+    let mut s = e.session_non_overlapped(OptConfig::all());
+    for _ in 0..20 {
+        let r = ran.clone();
+        s.submit(
+            TaskSpec::new("t")
+                .depend(x, AccessMode::InOut)
+                .body(move |_| {
+                    r.fetch_add(1, Ordering::SeqCst);
+                }),
+        );
+        // While discovering, nothing may run.
+        assert_eq!(ran.load(Ordering::SeqCst), 0);
+    }
+    // Non-overlapped discovery prunes nothing: every edge exists.
+    assert_eq!(s.stats().edges_created, 19);
+    s.wait_all();
+    assert_eq!(ran.load(Ordering::SeqCst), 20);
+}
+
+#[test]
+fn overlapped_session_can_prune_edges() {
+    // With a slow producer and an eager pool, predecessors are often
+    // consumed before their successors are discovered -> pruned edges.
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(2);
+    let mut s = e.session(OptConfig::all());
+    for i in 0..20 {
+        s.submit(
+            TaskSpec::new("t")
+                .depend(x, AccessMode::InOut)
+                .firstprivate_bytes(i as u32)
+                .body(|_| {}),
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let st = s.stats();
+    s.wait_all();
+    assert_eq!(st.edges_created + st.edges_pruned, 19);
+    assert!(
+        st.edges_pruned > 0,
+        "a 1ms-per-task producer against empty tasks must prune; got {st:?}"
+    );
+}
+
+#[test]
+fn throttling_bounds_live_tasks() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = Executor::new(ExecConfig {
+        n_workers: 1,
+        policy: SchedPolicy::DepthFirst,
+        throttle: ThrottleConfig {
+            max_ready: None,
+            max_live: Some(8),
+        },
+        profile: false,
+    });
+    let peak = Arc::new(AtomicUsize::new(0));
+    let mut s = e.session(OptConfig::all());
+    for _ in 0..200 {
+        let pool_live_peak = peak.clone();
+        let pool = Arc::clone(e.pool());
+        s.submit(
+            TaskSpec::new("t")
+                .depend(x, AccessMode::In)
+                .body(move |_| {
+                    let live = pool.live.load(Ordering::SeqCst);
+                    pool_live_peak.fetch_max(live, Ordering::SeqCst);
+                }),
+        );
+    }
+    s.wait_all();
+    // max_live=8 plus the one task the producer may be mid-submitting.
+    assert!(
+        peak.load(Ordering::SeqCst) <= 16,
+        "throttle failed: peak live {}",
+        peak.load(Ordering::SeqCst)
+    );
+}
+
+#[test]
+fn persistent_region_runs_every_iteration_with_correct_iter() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(2);
+    let sums: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
+    let mut region = e.persistent_region(OptConfig::all());
+    for iter in 0..4u64 {
+        let sums = sums.clone();
+        region.run(iter, |sub| {
+            // 3-task chain: w -> r -> r2; bodies record ctx.iter.
+            for (k, mode) in [
+                (0usize, AccessMode::Out),
+                (1, AccessMode::In),
+                (2, AccessMode::In),
+            ] {
+                let sums = sums.clone();
+                sub.submit(TaskSpec::new("t").depend(x, mode).body(move |ctx| {
+                    sums[ctx.iter as usize].fetch_add(1 + k as u64, Ordering::SeqCst);
+                }));
+            }
+        });
+    }
+    assert_eq!(region.iterations_run(), 4);
+    for iter in 0..4 {
+        assert_eq!(
+            sums[iter].load(Ordering::SeqCst),
+            6,
+            "iteration {iter} must run all 3 tasks exactly once"
+        );
+    }
+    let t = region.template().unwrap();
+    assert_eq!(t.n_tasks(), 3);
+    assert_eq!(t.n_edges(), 2);
+}
+
+#[test]
+fn persistent_region_respects_dependencies_every_iteration() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(4);
+    let val = Arc::new(AtomicU64::new(0));
+    let mut region = e.persistent_region(OptConfig::all());
+    for iter in 0..16u64 {
+        let val = val.clone();
+        region.run(iter, move |sub| {
+            let v1 = val.clone();
+            sub.submit(
+                TaskSpec::new("w")
+                    .depend(x, AccessMode::Out)
+                    .body(move |ctx| {
+                        v1.store(ctx.iter * 100, Ordering::SeqCst);
+                    }),
+            );
+            for _ in 0..8 {
+                let v = val.clone();
+                sub.submit(
+                    TaskSpec::new("r")
+                        .depend(x, AccessMode::In)
+                        .body(move |ctx| {
+                            assert_eq!(v.load(Ordering::SeqCst), ctx.iter * 100);
+                        }),
+                );
+            }
+        });
+    }
+    assert_eq!(region.iterations_run(), 16);
+}
+
+#[test]
+fn persistent_template_counts_unpruned_edges() {
+    // Even at full execution speed, the capture must record every edge.
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(4);
+    let mut region = e.persistent_region(OptConfig::all());
+    region.run(0, |sub| {
+        for _ in 0..64 {
+            sub.submit(TaskSpec::new("t").depend(x, AccessMode::InOut).body(|_| {}));
+        }
+    });
+    assert_eq!(region.template().unwrap().n_edges(), 63);
+}
+
+#[test]
+fn trace_records_work_spans() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = Executor::new(ExecConfig {
+        n_workers: 2,
+        policy: SchedPolicy::DepthFirst,
+        throttle: ThrottleConfig::unbounded(),
+        profile: true,
+    });
+    let mut s = e.session(OptConfig::all());
+    for _ in 0..10 {
+        s.submit(
+            TaskSpec::new("traced")
+                .depend(x, AccessMode::InOut)
+                .body(|_| {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                }),
+        );
+    }
+    s.wait_all();
+    let trace = e.take_trace();
+    assert_eq!(trace.n_tasks_run(), 10);
+    assert!(trace.span_ns > 0);
+    assert!(trace.mean_task_grain_ns() >= 100_000.0 * 0.5);
+    // take_trace drains
+    assert_eq!(e.take_trace().n_tasks_run(), 0);
+}
+
+#[test]
+fn many_independent_tasks_all_run() {
+    let mut space = HandleSpace::new();
+    let hs: Vec<_> = (0..256).map(|_| space.region("h", 8)).collect();
+    let e = exec(4);
+    let n = Arc::new(AtomicUsize::new(0));
+    let mut s = e.session(OptConfig::all());
+    for &h in &hs {
+        let n = n.clone();
+        s.submit(TaskSpec::new("t").depend(h, AccessMode::Out).body(move |_| {
+            n.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    s.wait_all();
+    assert_eq!(n.load(Ordering::SeqCst), 256);
+}
+
+#[test]
+fn sequential_sessions_on_one_executor() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(2);
+    for round in 0..3 {
+        let n = Arc::new(AtomicUsize::new(0));
+        let mut s = e.session(OptConfig::all());
+        for _ in 0..10 {
+            let n = n.clone();
+            s.submit(TaskSpec::new("t").depend(x, AccessMode::In).body(move |_| {
+                n.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        s.wait_all();
+        assert_eq!(n.load(Ordering::SeqCst), 10, "round {round}");
+    }
+}
+
+#[test]
+fn tasks_without_dependences_are_roots() {
+    let e = exec(2);
+    let n = Arc::new(AtomicUsize::new(0));
+    let mut s = e.session(OptConfig::all());
+    for _ in 0..5 {
+        let n = n.clone();
+        s.submit(TaskSpec::new("root").body(move |_| {
+            n.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    s.wait_all();
+    assert_eq!(n.load(Ordering::SeqCst), 5);
+}
+
+#[test]
+fn taskwait_blocks_until_prior_tasks_complete() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(3);
+    let n = Arc::new(AtomicUsize::new(0));
+    let mut s = e.session(OptConfig::all());
+    for _ in 0..16 {
+        let n = n.clone();
+        s.submit(TaskSpec::new("pre").depend(x, AccessMode::In).body(move |_| {
+            std::thread::sleep(std::time::Duration::from_micros(100));
+            n.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+    s.taskwait();
+    assert_eq!(n.load(Ordering::SeqCst), 16, "taskwait drains prior tasks");
+    // the session continues to work afterwards
+    let n2 = n.clone();
+    s.submit(TaskSpec::new("post").depend(x, AccessMode::Out).body(move |_| {
+        n2.fetch_add(100, Ordering::SeqCst);
+    }));
+    s.wait_all();
+    assert_eq!(n.load(Ordering::SeqCst), 116);
+}
+
+#[test]
+fn persistent_region_invalidate_recaptures() {
+    // Models an AMR step: the graph changes shape mid-run.
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(2);
+    let count = Arc::new(AtomicUsize::new(0));
+    let mut region = e.persistent_region(OptConfig::all());
+    let build = |width: usize, count: Arc<AtomicUsize>| {
+        move |sub: &mut dyn crate::builder::TaskSubmitter| {
+            for _ in 0..width {
+                let c = count.clone();
+                sub.submit(TaskSpec::new("t").depend(x, AccessMode::In).body(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }));
+            }
+        }
+    };
+    for iter in 0..3u64 {
+        region.run(iter, build(4, count.clone()));
+    }
+    assert_eq!(region.template().unwrap().n_tasks(), 4);
+    assert_eq!(count.load(Ordering::SeqCst), 12);
+    // "mesh adaptation": the next capture has 6 tasks per iteration
+    region.invalidate();
+    for iter in 3..6u64 {
+        region.run(iter, build(6, count.clone()));
+    }
+    assert_eq!(region.template().unwrap().n_tasks(), 6);
+    assert_eq!(count.load(Ordering::SeqCst), 12 + 18);
+    assert_eq!(region.iterations_run(), 6);
+}
+
+#[test]
+fn capture_iteration_stamps_requested_iter() {
+    let mut space = HandleSpace::new();
+    let x = space.region("x", 8);
+    let e = exec(2);
+    let seen = Arc::new(AtomicU64::new(u64::MAX));
+    let mut region = e.persistent_region(OptConfig::all());
+    // start the region at iteration 7 (e.g. after a restart)
+    let s7 = seen.clone();
+    region.run(7, move |sub| {
+        let s = s7.clone();
+        sub.submit(TaskSpec::new("t").depend(x, AccessMode::In).body(move |ctx| {
+            s.store(ctx.iter, Ordering::SeqCst);
+        }));
+    });
+    assert_eq!(seen.load(Ordering::SeqCst), 7, "capture run sees iter 7");
+    region.run(8, |_| unreachable!());
+    assert_eq!(seen.load(Ordering::SeqCst), 8);
+}

@@ -1,0 +1,185 @@
+//! Data handles: the registered memory regions that `depend` clauses name.
+//!
+//! In OpenMP, a `depend` item is a memory address; the runtime identifies
+//! regions by base pointer. Here applications *register* their regions with
+//! a [`HandleSpace`] — typically one handle per array slice at the chosen
+//! tasks-per-loop granularity — and reference them in depend clauses. The
+//! space also assigns each region a stable range of footprint *blocks* used
+//! by the memory-hierarchy model in `ptdg-simrt`.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Opaque identifier of a registered data region.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DataHandle(pub(crate) u32);
+
+impl DataHandle {
+    /// The raw index of this handle within its [`HandleSpace`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for DataHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// Metadata for one registered region.
+#[derive(Clone, Debug)]
+pub struct RegionInfo {
+    /// Debug name (e.g. `"mesh.nodes[3]"`).
+    pub name: &'static str,
+    /// Region size in bytes (drives the simulated footprint).
+    pub bytes: u64,
+    /// First footprint block id assigned to this region.
+    pub base_block: u64,
+}
+
+/// Registry of data regions, shared by discovery and executors.
+///
+/// Cloning a `HandleSpace` is cheap (it is an `Arc` snapshot holder): the
+/// registry is append-only during setup and immutable once tasks run.
+#[derive(Clone, Debug, Default)]
+pub struct HandleSpace {
+    regions: Vec<RegionInfo>,
+    next_block: u64,
+    block_bytes: u64,
+}
+
+impl HandleSpace {
+    /// An empty space with the default 512-byte footprint granularity.
+    pub fn new() -> Self {
+        Self::with_block_bytes(512)
+    }
+
+    /// An empty space with a custom footprint block size, which must match
+    /// the memory model's `block_bytes` when simulating.
+    pub fn with_block_bytes(block_bytes: u64) -> Self {
+        assert!(block_bytes > 0);
+        HandleSpace {
+            regions: Vec::new(),
+            next_block: 0,
+            block_bytes,
+        }
+    }
+
+    /// Register a region of `bytes` bytes and return its handle.
+    pub fn region(&mut self, name: &'static str, bytes: u64) -> DataHandle {
+        let blocks = if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.block_bytes)
+        };
+        let info = RegionInfo {
+            name,
+            bytes,
+            base_block: self.next_block,
+        };
+        self.next_block += blocks;
+        let id = self.regions.len();
+        assert!(id <= u32::MAX as usize, "too many regions");
+        self.regions.push(info);
+        DataHandle(id as u32)
+    }
+
+    /// Register `n` equally-sized slices of a logical array of
+    /// `total_bytes`, returning their handles in order. This is the idiom
+    /// for `taskloop`-style slicing: one handle per task's slice.
+    pub fn sliced_region(
+        &mut self,
+        name: &'static str,
+        total_bytes: u64,
+        n: usize,
+    ) -> Vec<DataHandle> {
+        assert!(n > 0);
+        let per = total_bytes / n as u64;
+        let rem = total_bytes % n as u64;
+        (0..n)
+            .map(|i| {
+                let bytes = per + if (i as u64) < rem { 1 } else { 0 };
+                self.region(name, bytes)
+            })
+            .collect()
+    }
+
+    /// Look up a region's metadata.
+    pub fn info(&self, h: DataHandle) -> &RegionInfo {
+        &self.regions[h.index()]
+    }
+
+    /// Number of registered regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether no regions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Footprint block granularity in bytes.
+    pub fn block_bytes(&self) -> u64 {
+        self.block_bytes
+    }
+
+    /// Total footprint blocks assigned so far.
+    pub fn total_blocks(&self) -> u64 {
+        self.next_block
+    }
+
+    /// Freeze into a cheaply-shareable snapshot.
+    pub fn freeze(self) -> Arc<HandleSpace> {
+        Arc::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_get_distinct_handles_and_blocks() {
+        let mut s = HandleSpace::new();
+        let a = s.region("a", 1024);
+        let b = s.region("b", 100);
+        let c = s.region("c", 513);
+        assert_ne!(a, b);
+        assert_eq!(s.info(a).base_block, 0);
+        assert_eq!(s.info(b).base_block, 2); // 1024/512 = 2 blocks
+        assert_eq!(s.info(c).base_block, 3); // 100 B -> 1 block
+        assert_eq!(s.total_blocks(), 5); // 513 B -> 2 blocks
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn zero_sized_region_takes_no_blocks() {
+        let mut s = HandleSpace::new();
+        let z = s.region("z", 0);
+        let a = s.region("a", 512);
+        assert_eq!(s.info(z).bytes, 0);
+        assert_eq!(s.info(a).base_block, 0);
+    }
+
+    #[test]
+    fn sliced_region_covers_total() {
+        let mut s = HandleSpace::new();
+        let hs = s.sliced_region("arr", 1000, 3);
+        assert_eq!(hs.len(), 3);
+        let total: u64 = hs.iter().map(|&h| s.info(h).bytes).sum();
+        assert_eq!(total, 1000);
+        // 334, 333, 333
+        assert_eq!(s.info(hs[0]).bytes, 334);
+    }
+
+    #[test]
+    fn custom_block_size() {
+        let mut s = HandleSpace::with_block_bytes(4096);
+        let a = s.region("a", 4097);
+        assert_eq!(s.info(a).base_block, 0);
+        assert_eq!(s.total_blocks(), 2);
+        assert_eq!(s.block_bytes(), 4096);
+    }
+}

@@ -1,0 +1,166 @@
+//! The parallel time breakdown (paper §2.3.1).
+
+use super::{SpanKind, Trace};
+
+/// Work / overhead / idle decomposition of an execution.
+///
+/// All values are nanoseconds **cumulated over workers**; use
+/// [`Breakdown::avg_work_s`] and friends for the per-thread averages the
+/// paper plots (Fig. 2(c), Fig. 6, Fig. 7 top).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    /// Time inside task bodies.
+    pub work_ns: u64,
+    /// Time outside bodies while tasks were ready.
+    pub overhead_ns: u64,
+    /// Time outside bodies with no ready task.
+    pub idle_ns: u64,
+    /// Workers contributing.
+    pub n_workers: usize,
+    /// Wall-clock span of the execution.
+    pub span_ns: u64,
+    /// Producer discovery span.
+    pub discovery_ns: u64,
+}
+
+impl Breakdown {
+    /// Derive a breakdown from a trace.
+    ///
+    /// Executors that emit explicit `Overhead`/`Idle` spans (the simulator)
+    /// get exact values. For traces with only `Work` spans (the lightweight
+    /// real-executor profiler), the non-work time per worker is classified
+    /// as idle — a documented approximation.
+    pub fn from_trace(t: &Trace) -> Breakdown {
+        let work_ns = t.total_ns(SpanKind::Work);
+        let overhead_ns = t.total_ns(SpanKind::Overhead);
+        let explicit_idle = t.total_ns(SpanKind::Idle);
+        let accounted = work_ns + overhead_ns + explicit_idle;
+        let capacity = t.span_ns.saturating_mul(t.n_workers as u64);
+        let idle_ns = explicit_idle.max(capacity.saturating_sub(accounted) + explicit_idle)
+            .min(capacity.saturating_sub(work_ns + overhead_ns));
+        Breakdown {
+            work_ns,
+            overhead_ns,
+            idle_ns,
+            n_workers: t.n_workers,
+            span_ns: t.span_ns,
+            discovery_ns: t.discovery_ns,
+        }
+    }
+
+    fn per_worker(&self, v: u64) -> f64 {
+        if self.n_workers == 0 {
+            0.0
+        } else {
+            v as f64 / self.n_workers as f64 * 1e-9
+        }
+    }
+
+    /// Average work time per worker, seconds.
+    pub fn avg_work_s(&self) -> f64 {
+        self.per_worker(self.work_ns)
+    }
+
+    /// Average overhead per worker, seconds.
+    pub fn avg_overhead_s(&self) -> f64 {
+        self.per_worker(self.overhead_ns)
+    }
+
+    /// Average idle per worker, seconds.
+    pub fn avg_idle_s(&self) -> f64 {
+        self.per_worker(self.idle_ns)
+    }
+
+    /// Wall-clock execution span, seconds.
+    pub fn span_s(&self) -> f64 {
+        self.span_ns as f64 * 1e-9
+    }
+
+    /// Discovery span, seconds.
+    pub fn discovery_s(&self) -> f64 {
+        self.discovery_ns as f64 * 1e-9
+    }
+
+    /// Cumulated work over all workers, seconds.
+    pub fn total_work_s(&self) -> f64 {
+        self.work_ns as f64 * 1e-9
+    }
+
+    /// Cumulated idle over all workers, seconds.
+    pub fn total_idle_s(&self) -> f64 {
+        self.idle_ns as f64 * 1e-9
+    }
+
+    /// Cumulated overhead over all workers, seconds.
+    pub fn total_overhead_s(&self) -> f64 {
+        self.overhead_ns as f64 * 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Span;
+
+    #[test]
+    fn exact_breakdown_with_explicit_spans() {
+        let mut t = Trace {
+            n_workers: 2,
+            span_ns: 100,
+            discovery_ns: 30,
+            ..Default::default()
+        };
+        // worker 0: 60 work, 10 overhead, 30 idle
+        // worker 1: 40 work, 0 overhead, 60 idle
+        for (w, s, e, k) in [
+            (0, 0, 60, SpanKind::Work),
+            (0, 60, 70, SpanKind::Overhead),
+            (0, 70, 100, SpanKind::Idle),
+            (1, 0, 40, SpanKind::Work),
+            (1, 40, 100, SpanKind::Idle),
+        ] {
+            t.push(Span {
+                worker: w,
+                start_ns: s,
+                end_ns: e,
+                kind: k,
+                name: "",
+                iter: 0,
+            });
+        }
+        let b = t.breakdown();
+        assert_eq!(b.work_ns, 100);
+        assert_eq!(b.overhead_ns, 10);
+        assert_eq!(b.idle_ns, 90);
+        assert!((b.avg_work_s() - 50e-9).abs() < 1e-18);
+        assert!((b.span_s() - 100e-9).abs() < 1e-18);
+        assert!((b.discovery_s() - 30e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn work_only_trace_classifies_gap_as_idle() {
+        let mut t = Trace {
+            n_workers: 1,
+            span_ns: 100,
+            ..Default::default()
+        };
+        t.push(Span {
+            worker: 0,
+            start_ns: 0,
+            end_ns: 80,
+            kind: SpanKind::Work,
+            name: "",
+            iter: 0,
+        });
+        let b = t.breakdown();
+        assert_eq!(b.work_ns, 80);
+        assert_eq!(b.idle_ns, 20);
+    }
+
+    #[test]
+    fn zero_workers_is_safe() {
+        let t = Trace::default();
+        let b = t.breakdown();
+        assert_eq!(b.avg_work_s(), 0.0);
+    }
+}

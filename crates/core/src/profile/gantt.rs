@@ -1,0 +1,117 @@
+//! Gantt-chart export (paper Fig. 8).
+
+use super::{SpanKind, Trace};
+
+/// One worker's row of scheduled task spans.
+#[derive(Clone, Debug)]
+pub struct GanttRow {
+    /// Worker index.
+    pub worker: u32,
+    /// `(start_ns, end_ns, name, iter)` per scheduled task, time-sorted.
+    pub spans: Vec<(u64, u64, &'static str, u64)>,
+}
+
+/// Build time-sorted per-worker rows of work spans.
+pub fn gantt_rows(trace: &Trace) -> Vec<GanttRow> {
+    let mut rows: Vec<GanttRow> = (0..trace.n_workers as u32)
+        .map(|worker| GanttRow {
+            worker,
+            spans: Vec::new(),
+        })
+        .collect();
+    for s in &trace.spans {
+        if s.kind == SpanKind::Work && (s.worker as usize) < rows.len() {
+            rows[s.worker as usize]
+                .spans
+                .push((s.start_ns, s.end_ns, s.name, s.iter));
+        }
+    }
+    for r in &mut rows {
+        r.spans.sort_unstable_by_key(|&(st, _, _, _)| st);
+    }
+    rows
+}
+
+/// Render an ASCII Gantt chart with `width` columns; each task span is
+/// drawn with the digit of its iteration modulo 10 (the paper colours by
+/// iteration), idle gaps with `.`.
+pub fn render_ascii_gantt(trace: &Trace, width: usize) -> String {
+    let rows = gantt_rows(trace);
+    let t_end = trace.span_ns.max(1);
+    let mut out = String::new();
+    for row in &rows {
+        let mut line = vec![b'.'; width];
+        for &(s, e, _, iter) in &row.spans {
+            let c0 = (s as u128 * width as u128 / t_end as u128) as usize;
+            let c1 = ((e as u128 * width as u128).div_ceil(t_end as u128) as usize).min(width);
+            let ch = b'0' + (iter % 10) as u8;
+            for c in line.iter_mut().take(c1).skip(c0.min(width)) {
+                *c = ch;
+            }
+        }
+        out.push_str(&format!("w{:>3} |", row.worker));
+        out.push_str(std::str::from_utf8(&line).unwrap());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Span;
+
+    fn trace() -> Trace {
+        let mut t = Trace {
+            n_workers: 2,
+            span_ns: 100,
+            ..Default::default()
+        };
+        for (w, s, e, iter) in [(0u32, 0u64, 50u64, 0u64), (0, 50, 100, 1), (1, 25, 75, 0)] {
+            t.push(Span {
+                worker: w,
+                start_ns: s,
+                end_ns: e,
+                kind: SpanKind::Work,
+                name: "k",
+                iter,
+            });
+        }
+        t.push(Span {
+            worker: 1,
+            start_ns: 0,
+            end_ns: 25,
+            kind: SpanKind::Idle,
+            name: "",
+            iter: 0,
+        });
+        t
+    }
+
+    #[test]
+    fn rows_are_sorted_and_work_only() {
+        let rows = gantt_rows(&trace());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].spans.len(), 2);
+        assert!(rows[0].spans[0].0 <= rows[0].spans[1].0);
+        assert_eq!(rows[1].spans.len(), 1, "idle spans excluded");
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let art = render_ascii_gantt(&trace(), 20);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 2);
+        // worker 0: first half iteration 0, second half iteration 1
+        assert!(lines[0].contains('0'));
+        assert!(lines[0].contains('1'));
+        // worker 1: leading idle dots
+        assert!(lines[1].split('|').nth(1).unwrap().starts_with('.'));
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        let t = Trace::default();
+        assert_eq!(render_ascii_gantt(&t, 10), "");
+    }
+}

@@ -1,0 +1,214 @@
+//! Task-level profiling.
+//!
+//! The methodology mirrors the paper (§2.3.1): every task schedule is
+//! recorded as a span on its worker, timestamps are nanoseconds from the
+//! start of the measured region, and post-mortem analysis computes the
+//! parallel time breakdown of Tallent & Mellor-Crummey adapted to dependent
+//! tasks:
+//!
+//! * **work** — time inside a task body;
+//! * **overhead** — time outside a task body while ready tasks exist;
+//! * **idle** — time outside a task body while no task is ready.
+//!
+//! Both the real executor (wall-clock) and the virtual executor (exact
+//! virtual time) emit the same [`Trace`] so one analysis pipeline serves
+//! both.
+
+mod breakdown;
+mod gantt;
+
+pub use breakdown::Breakdown;
+pub use gantt::{render_ascii_gantt, GanttRow};
+
+/// What a recorded span represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Inside a task body.
+    Work,
+    /// Scheduling/dependency-management time attributable to one task.
+    Overhead,
+    /// Producer-side discovery time (on the producer "row").
+    Discovery,
+    /// No ready task available.
+    Idle,
+}
+
+/// One timed span on one worker.
+#[derive(Clone, Copy, Debug)]
+pub struct Span {
+    /// Worker (core) index; the producer uses its own index.
+    pub worker: u32,
+    /// Start, nanoseconds from trace origin.
+    pub start_ns: u64,
+    /// End, nanoseconds from trace origin.
+    pub end_ns: u64,
+    /// Category.
+    pub kind: SpanKind,
+    /// Task name (empty for idle/discovery spans).
+    pub name: &'static str,
+    /// Iteration the task belongs to.
+    pub iter: u64,
+}
+
+impl Span {
+    /// Span duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// A completed execution trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// All spans, unordered.
+    pub spans: Vec<Span>,
+    /// Number of workers.
+    pub n_workers: usize,
+    /// Discovery span: first task creation to last task creation
+    /// (producer-side; paper Fig. 1 green curve).
+    pub discovery_ns: u64,
+    /// Wall-clock span of execution: first schedule to last completion.
+    pub span_ns: u64,
+}
+
+impl Trace {
+    /// Push a span (events are preallocated-buffered by executors; this is
+    /// the post-collection form).
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    /// Sum of durations for one kind, in nanoseconds.
+    pub fn total_ns(&self, kind: SpanKind) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.dur_ns())
+            .sum()
+    }
+
+    /// Number of work spans (executed tasks).
+    pub fn n_tasks_run(&self) -> usize {
+        self.spans.iter().filter(|s| s.kind == SpanKind::Work).count()
+    }
+
+    /// Compute the work/overhead/idle breakdown.
+    pub fn breakdown(&self) -> Breakdown {
+        Breakdown::from_trace(self)
+    }
+
+    /// Mean work-span duration in nanoseconds (the "task grain").
+    pub fn mean_task_grain_ns(&self) -> f64 {
+        let n = self.n_tasks_run();
+        if n == 0 {
+            0.0
+        } else {
+            self.total_ns(SpanKind::Work) as f64 / n as f64
+        }
+    }
+
+    /// Cumulated work time per task name, sorted by time descending —
+    /// the per-kernel profile the paper uses to name hot loops (e.g.
+    /// `CalcFBHourglassForceForElems` in its Gantt discussion).
+    pub fn work_by_name(&self) -> Vec<(&'static str, u64, usize)> {
+        let mut map: std::collections::HashMap<&'static str, (u64, usize)> =
+            std::collections::HashMap::new();
+        for s in &self.spans {
+            if s.kind == SpanKind::Work {
+                let e = map.entry(s.name).or_default();
+                e.0 += s.dur_ns();
+                e.1 += 1;
+            }
+        }
+        let mut v: Vec<(&'static str, u64, usize)> =
+            map.into_iter().map(|(k, (ns, n))| (k, ns, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// Export all spans as TSV (one line per span) for external plotting.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from("worker\tstart_ns\tend_ns\tkind\tname\titer\n");
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{:?}\t{}\t{}\n",
+                s.worker, s.start_ns, s.end_ns, s.kind, s.name, s.iter
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(worker: u32, s: u64, e: u64, kind: SpanKind) -> Span {
+        Span {
+            worker,
+            start_ns: s,
+            end_ns: e,
+            kind,
+            name: "t",
+            iter: 0,
+        }
+    }
+
+    #[test]
+    fn totals_by_kind() {
+        let mut t = Trace {
+            n_workers: 2,
+            span_ns: 100,
+            ..Default::default()
+        };
+        t.push(span(0, 0, 30, SpanKind::Work));
+        t.push(span(1, 0, 50, SpanKind::Work));
+        t.push(span(0, 30, 40, SpanKind::Overhead));
+        t.push(span(0, 40, 100, SpanKind::Idle));
+        assert_eq!(t.total_ns(SpanKind::Work), 80);
+        assert_eq!(t.total_ns(SpanKind::Overhead), 10);
+        assert_eq!(t.total_ns(SpanKind::Idle), 60);
+        assert_eq!(t.n_tasks_run(), 2);
+        assert_eq!(t.mean_task_grain_ns(), 40.0);
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let mut t = Trace::default();
+        t.push(span(0, 1, 2, SpanKind::Work));
+        let tsv = t.to_tsv();
+        assert!(tsv.starts_with("worker\t"));
+        assert_eq!(tsv.lines().count(), 2);
+    }
+
+    #[test]
+    fn empty_trace_grain_is_zero() {
+        let t = Trace::default();
+        assert_eq!(t.mean_task_grain_ns(), 0.0);
+    }
+
+    #[test]
+    fn work_by_name_aggregates_and_sorts() {
+        let mut t = Trace::default();
+        for (name, s0, e0) in [("b", 0u64, 10u64), ("a", 0, 30), ("b", 10, 25), ("a", 40, 50)] {
+            t.push(Span {
+                worker: 0,
+                start_ns: s0,
+                end_ns: e0,
+                kind: SpanKind::Work,
+                name,
+                iter: 0,
+            });
+        }
+        t.push(Span {
+            worker: 0,
+            start_ns: 50,
+            end_ns: 99,
+            kind: SpanKind::Idle,
+            name: "ignored",
+            iter: 0,
+        });
+        let v = t.work_by_name();
+        assert_eq!(v, vec![("a", 40, 2), ("b", 25, 2)]);
+    }
+}

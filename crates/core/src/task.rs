@@ -1,0 +1,161 @@
+//! Task identity, specification and bodies.
+
+use crate::access::{AccessMode, Depend};
+use crate::handle::DataHandle;
+use crate::workdesc::{CommOp, WorkDesc};
+use std::fmt;
+use std::sync::Arc;
+
+/// Identifier of a task within one discovery session / template.
+///
+/// Ids are dense and assigned in submission order, which the discovery
+/// engine exploits for its O(1) duplicate-edge probe.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// Raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Execution context passed to task bodies.
+///
+/// With a persistent graph, the same body closure runs once per iteration;
+/// `iter` is the firstprivate data that the runtime re-instances — bodies
+/// must read the iteration from here, never capture it by value at
+/// discovery time.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskCtx {
+    /// The task being executed.
+    pub task: TaskId,
+    /// Current iteration of the enclosing (persistent) region; 0 for
+    /// non-iterative submission.
+    pub iter: u64,
+    /// Worker executing the task.
+    pub worker: usize,
+}
+
+/// A task body: the actual computation.
+pub type TaskBody = Arc<dyn Fn(&TaskCtx) + Send + Sync + 'static>;
+
+/// Full description of one task, as submitted by the producer thread.
+#[derive(Clone)]
+pub struct TaskSpec {
+    /// Debug/profiling name (also used to group Gantt rows).
+    pub name: &'static str,
+    /// The `depend` clause.
+    pub depends: Vec<Depend>,
+    /// Cost-model description (used by the virtual executor).
+    pub work: WorkDesc,
+    /// Optional communication side effect (detached semantics).
+    pub comm: Option<CommOp>,
+    /// Optional real computation (used by the thread executor).
+    pub body: Option<TaskBody>,
+    /// Size of the task's firstprivate payload in bytes; this is what a
+    /// persistent re-instance must memcpy (paper: 8–100 B for LULESH).
+    pub fp_bytes: u32,
+}
+
+impl TaskSpec {
+    /// A new task with no dependences, unit-less work, and no body.
+    pub fn new(name: &'static str) -> Self {
+        TaskSpec {
+            name,
+            depends: Vec::new(),
+            work: WorkDesc::default(),
+            comm: None,
+            body: None,
+            fp_bytes: 16,
+        }
+    }
+
+    /// Add one depend item.
+    pub fn depend(mut self, handle: DataHandle, mode: AccessMode) -> Self {
+        self.depends.push(Depend::new(handle, mode));
+        self
+    }
+
+    /// Add many depend items.
+    pub fn depends(mut self, items: impl IntoIterator<Item = Depend>) -> Self {
+        self.depends.extend(items);
+        self
+    }
+
+    /// Set the work descriptor.
+    pub fn work(mut self, work: WorkDesc) -> Self {
+        self.work = work;
+        self
+    }
+
+    /// Attach a communication operation (detached-task semantics).
+    pub fn comm(mut self, op: CommOp) -> Self {
+        self.comm = Some(op);
+        self
+    }
+
+    /// Attach the computational body.
+    pub fn body<F: Fn(&TaskCtx) + Send + Sync + 'static>(mut self, f: F) -> Self {
+        self.body = Some(Arc::new(f));
+        self
+    }
+
+    /// Set the firstprivate payload size.
+    pub fn firstprivate_bytes(mut self, bytes: u32) -> Self {
+        self.fp_bytes = bytes;
+        self
+    }
+}
+
+impl fmt::Debug for TaskSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TaskSpec")
+            .field("name", &self.name)
+            .field("depends", &self.depends)
+            .field("flops", &self.work.flops)
+            .field("comm", &self.comm)
+            .field("has_body", &self.body.is_some())
+            .field("fp_bytes", &self.fp_bytes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::HandleSpace;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut s = HandleSpace::new();
+        let x = s.region("x", 8);
+        let y = s.region("y", 8);
+        let spec = TaskSpec::new("demo")
+            .depend(x, AccessMode::Out)
+            .depends([Depend::read(y)])
+            .work(WorkDesc::compute(42.0))
+            .comm(CommOp::Iallreduce { bytes: 8 })
+            .firstprivate_bytes(24)
+            .body(|_| {});
+        assert_eq!(spec.depends.len(), 2);
+        assert_eq!(spec.work.flops, 42.0);
+        assert!(spec.comm.is_some());
+        assert!(spec.body.is_some());
+        assert_eq!(spec.fp_bytes, 24);
+        assert!(format!("{spec:?}").contains("demo"));
+    }
+
+    #[test]
+    fn task_ids_order_by_index() {
+        assert!(TaskId(1) < TaskId(2));
+        assert_eq!(TaskId(7).index(), 7);
+        assert_eq!(format!("{:?}", TaskId(3)), "t3");
+    }
+}

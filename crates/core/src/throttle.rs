@@ -1,0 +1,95 @@
+//! Task throttling (paper §5, "Task Throttling").
+//!
+//! Throttling bounds tasking memory/operational overheads by making the
+//! producer stop producing and start *consuming* once a threshold is hit.
+//! GCC and LLVM bound the number of **ready** tasks; the paper's runtime
+//! additionally bounds the **total live** tasks (ready or not), which is the
+//! meaningful bound for dependent tasks where many discovered tasks are not
+//! yet ready. A tight ready-task bound cripples the depth-first scheduler's
+//! vision of the graph — the ablation harness measures exactly that.
+
+/// Throttling thresholds for an executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ThrottleConfig {
+    /// Maximum tasks in the ready state before the producer helps
+    /// (GCC/LLVM-style). `None` = unbounded.
+    pub max_ready: Option<usize>,
+    /// Maximum live tasks — discovered but not yet completed — before the
+    /// producer helps (MPC-OMP-style; paper default 10,000,000).
+    pub max_live: Option<usize>,
+}
+
+impl ThrottleConfig {
+    /// No throttling at all.
+    pub fn unbounded() -> Self {
+        ThrottleConfig {
+            max_ready: None,
+            max_live: None,
+        }
+    }
+
+    /// The paper's MPC-OMP default: total-task bound of 10 million, no
+    /// ready bound.
+    pub fn mpc_default() -> Self {
+        ThrottleConfig {
+            max_ready: None,
+            max_live: Some(10_000_000),
+        }
+    }
+
+    /// A production-runtime-like tight ready bound (LLVM/GCC behaviour
+    /// studied in §5); `bound` is typically a small multiple of the thread
+    /// count.
+    pub fn ready_bound(bound: usize) -> Self {
+        ThrottleConfig {
+            max_ready: Some(bound),
+            max_live: None,
+        }
+    }
+
+    /// Whether the producer must help given current counts.
+    pub fn should_help(&self, ready: usize, live: usize) -> bool {
+        self.max_ready.is_some_and(|m| ready > m) || self.max_live.is_some_and(|m| live > m)
+    }
+}
+
+impl Default for ThrottleConfig {
+    fn default() -> Self {
+        ThrottleConfig::mpc_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_helps() {
+        let t = ThrottleConfig::unbounded();
+        assert!(!t.should_help(usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn ready_bound_triggers_on_ready_only() {
+        let t = ThrottleConfig::ready_bound(4);
+        assert!(!t.should_help(4, 1_000_000));
+        assert!(t.should_help(5, 0));
+    }
+
+    #[test]
+    fn live_bound_triggers_on_live() {
+        let t = ThrottleConfig {
+            max_ready: None,
+            max_live: Some(100),
+        };
+        assert!(!t.should_help(1_000, 100));
+        assert!(t.should_help(0, 101));
+    }
+
+    #[test]
+    fn mpc_default_matches_paper() {
+        let t = ThrottleConfig::default();
+        assert_eq!(t.max_live, Some(10_000_000));
+        assert_eq!(t.max_ready, None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Work descriptors: what a task *costs*, independent of what it computes.
+//!
+//! The real executor runs a task's closure; the virtual executor
+//! (`ptdg-simrt`) instead interprets the task's [`WorkDesc`] — its flop
+//! count and memory footprint — through the cache/DRAM model, and its
+//! optional [`CommOp`] through the simulated interconnect. Applications fill
+//! both so the same task program runs on either back-end.
+
+use crate::handle::DataHandle;
+
+/// A byte sub-range of a registered region touched by a task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HandleSlice {
+    /// The region.
+    pub handle: DataHandle,
+    /// Byte offset within the region.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl HandleSlice {
+    /// The whole region (offset 0, caller supplies the region length).
+    pub fn whole(handle: DataHandle, len: u64) -> Self {
+        HandleSlice {
+            handle,
+            offset: 0,
+            len,
+        }
+    }
+}
+
+/// Cost model description of a task's computation.
+#[derive(Clone, Debug, Default)]
+pub struct WorkDesc {
+    /// Floating-point (or equivalent) operations executed by the task body.
+    pub flops: f64,
+    /// Memory regions/slices the body touches (its cache footprint).
+    pub footprint: Vec<HandleSlice>,
+}
+
+impl WorkDesc {
+    /// A descriptor with `flops` and no memory footprint.
+    pub fn compute(flops: f64) -> Self {
+        WorkDesc {
+            flops,
+            footprint: Vec::new(),
+        }
+    }
+
+    /// Add a footprint slice (builder style).
+    pub fn touching(mut self, slice: HandleSlice) -> Self {
+        self.footprint.push(slice);
+        self
+    }
+
+    /// Add whole-region footprints for each handle, with lengths from a
+    /// lookup function (usually `HandleSpace::info(h).bytes`).
+    pub fn touching_whole<F: Fn(DataHandle) -> u64>(
+        mut self,
+        handles: &[DataHandle],
+        len_of: F,
+    ) -> Self {
+        for &h in handles {
+            self.footprint.push(HandleSlice::whole(h, len_of(h)));
+        }
+        self
+    }
+
+    /// Total bytes in the footprint.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint.iter().map(|s| s.len).sum()
+    }
+}
+
+/// A (simulated) MPI operation initiated from a task body.
+///
+/// All operations are non-blocking; a task carrying a `CommOp` has OpenMP
+/// `detach` semantics — the task *completes* (and releases its successors)
+/// only when the request completes, but the executing core is released as
+/// soon as the request is posted. This mirrors Listing 1 of the paper where
+/// `MPI_Isend`/`MPI_Irecv` tasks use `detach(event)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CommOp {
+    /// Non-blocking send of `bytes` to `peer` with matching `tag`.
+    Isend {
+        /// Destination rank.
+        peer: u32,
+        /// Message size in bytes.
+        bytes: u64,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Non-blocking receive of `bytes` from `peer` with matching `tag`.
+    Irecv {
+        /// Source rank.
+        peer: u32,
+        /// Message size in bytes.
+        bytes: u64,
+        /// Match tag.
+        tag: u32,
+    },
+    /// Non-blocking all-reduce of `bytes` across every rank of the job
+    /// (the `MPI_Iallreduce` that reduces LULESH's dynamic time step).
+    Iallreduce {
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+}
+
+impl CommOp {
+    /// Message payload size in bytes.
+    pub fn bytes(&self) -> u64 {
+        match *self {
+            CommOp::Isend { bytes, .. }
+            | CommOp::Irecv { bytes, .. }
+            | CommOp::Iallreduce { bytes } => bytes,
+        }
+    }
+
+    /// Whether this is a collective operation.
+    pub fn is_collective(&self) -> bool {
+        matches!(self, CommOp::Iallreduce { .. })
+    }
+
+    /// Whether this operation sends data to a peer (P2P send side).
+    pub fn is_send(&self) -> bool {
+        matches!(self, CommOp::Isend { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::HandleSpace;
+
+    #[test]
+    fn workdesc_accumulates_footprint() {
+        let mut s = HandleSpace::new();
+        let a = s.region("a", 100);
+        let b = s.region("b", 200);
+        let w = WorkDesc::compute(1e6)
+            .touching(HandleSlice::whole(a, 100))
+            .touching(HandleSlice {
+                handle: b,
+                offset: 50,
+                len: 70,
+            });
+        assert_eq!(w.footprint_bytes(), 170);
+        assert_eq!(w.flops, 1e6);
+        assert_eq!(w.footprint.len(), 2);
+    }
+
+    #[test]
+    fn touching_whole_uses_lookup() {
+        let mut s = HandleSpace::new();
+        let a = s.region("a", 100);
+        let b = s.region("b", 200);
+        let space = s.clone();
+        let w = WorkDesc::compute(0.0).touching_whole(&[a, b], |h| space.info(h).bytes);
+        assert_eq!(w.footprint_bytes(), 300);
+    }
+
+    #[test]
+    fn comm_op_accessors() {
+        let send = CommOp::Isend {
+            peer: 3,
+            bytes: 4096,
+            tag: 7,
+        };
+        let coll = CommOp::Iallreduce { bytes: 8 };
+        assert_eq!(send.bytes(), 4096);
+        assert!(send.is_send());
+        assert!(!send.is_collective());
+        assert!(coll.is_collective());
+        assert!(!coll.is_send());
+        assert_eq!(coll.bytes(), 8);
+    }
+}

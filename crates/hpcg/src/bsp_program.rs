@@ -1,0 +1,167 @@
+//! The reference `parallel for` HPCG (barriers + blocking MPI).
+
+use crate::config::*;
+use ptdg_core::handle::{DataHandle, HandleSpace};
+use ptdg_core::workdesc::HandleSlice;
+use ptdg_simrt::{BspPhase, BspProgram, Rank};
+
+/// Fork-join HPCG with whole-array handles.
+pub struct HpcgBsp {
+    /// Run configuration.
+    pub cfg: HpcgConfig,
+    /// The handle space for the simulator.
+    pub space: HandleSpace,
+    x: DataHandle,
+    r: DataHandle,
+    p: DataHandle,
+    ap: DataHandle,
+    matrix: DataHandle,
+}
+
+impl HpcgBsp {
+    /// Register the whole-array regions.
+    pub fn new(cfg: HpcgConfig) -> HpcgBsp {
+        let n = (cfg.n_rows() * 8) as u64;
+        let mut space = HandleSpace::new();
+        let x = space.region("x", n);
+        let r = space.region("r", n);
+        let p = space.region("p", n);
+        let ap = space.region("ap", n);
+        let matrix = space.region("matrix", (cfg.n_rows() * 324) as u64);
+        HpcgBsp {
+            cfg,
+            space,
+            x,
+            r,
+            p,
+            ap,
+            matrix,
+        }
+    }
+
+    fn whole(&self, h: DataHandle) -> HandleSlice {
+        HandleSlice::whole(h, self.space.info(h).bytes)
+    }
+
+    #[cfg(test)]
+    fn face_count(&self, rank: Rank) -> usize {
+        let p = self.cfg.px;
+        let r = rank as usize;
+        let (x, y, z) = (r % p, (r / p) % p, r / (p * p));
+        [x > 0, x + 1 < p, y > 0, y + 1 < p, z > 0, z + 1 < p]
+            .iter()
+            .filter(|&&b| b)
+            .count()
+    }
+}
+
+impl BspProgram for HpcgBsp {
+    fn n_iterations(&self) -> u64 {
+        self.cfg.iterations
+    }
+
+    fn phases(&self, rank: Rank, _iter: u64) -> Vec<BspPhase> {
+        let n = self.cfg.n_rows() as f64;
+        let mut v = Vec::new();
+        // Blocking halo exchange of p before the SpMV.
+        if self.cfg.n_ranks() > 1 {
+            let p = self.cfg.px;
+            let r = rank as usize;
+            let (x, y, z) = (r % p, (r / p) % p, r / (p * p));
+            let idx = |x: usize, y: usize, z: usize| ((z * p + y) * p + x) as Rank;
+            let bytes = (self.cfg.nx * self.cfg.nx * 8) as u64;
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            let mut add = |dir: usize, peer: Rank| {
+                sends.push((peer, bytes, dir as u32));
+                recvs.push((peer, bytes, (dir ^ 1) as u32));
+            };
+            if x > 0 {
+                add(0, idx(x - 1, y, z));
+            }
+            if x + 1 < p {
+                add(1, idx(x + 1, y, z));
+            }
+            if y > 0 {
+                add(2, idx(x, y - 1, z));
+            }
+            if y + 1 < p {
+                add(3, idx(x, y + 1, z));
+            }
+            if z > 0 {
+                add(4, idx(x, y, z - 1));
+            }
+            if z + 1 < p {
+                add(5, idx(x, y, z + 1));
+            }
+            v.push(BspPhase::Exchange { sends, recvs });
+        }
+        v.push(BspPhase::Loop {
+            name: "SpMV",
+            flops: n * F_SPMV,
+            footprint: vec![self.whole(self.p), self.whole(self.ap), self.whole(self.matrix)],
+        });
+        v.push(BspPhase::Loop {
+            name: "DotPAp",
+            flops: n * F_DOT,
+            footprint: vec![self.whole(self.p), self.whole(self.ap)],
+        });
+        if self.cfg.n_ranks() > 1 {
+            v.push(BspPhase::Allreduce { bytes: 8 });
+        }
+        v.push(BspPhase::Loop {
+            name: "AxpyX",
+            flops: n * F_AXPY,
+            footprint: vec![self.whole(self.p), self.whole(self.x)],
+        });
+        v.push(BspPhase::Loop {
+            name: "AxpyR",
+            flops: n * F_AXPY,
+            footprint: vec![self.whole(self.ap), self.whole(self.r)],
+        });
+        v.push(BspPhase::Loop {
+            name: "DotRR",
+            flops: n * F_DOT,
+            footprint: vec![self.whole(self.r)],
+        });
+        if self.cfg.n_ranks() > 1 {
+            v.push(BspPhase::Allreduce { bytes: 8 });
+        }
+        v.push(BspPhase::Loop {
+            name: "UpdateP",
+            flops: n * F_AXPY,
+            footprint: vec![self.whole(self.r), self.whole(self.p)],
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_is_loops_only() {
+        let b = HpcgBsp::new(HpcgConfig::single(8, 2, 8));
+        let phases = b.phases(0, 0);
+        assert_eq!(phases.len(), 6);
+        assert!(phases.iter().all(|p| matches!(p, BspPhase::Loop { .. })));
+    }
+
+    #[test]
+    fn multi_rank_has_exchange_and_two_allreduces() {
+        let cfg = HpcgConfig {
+            px: 2,
+            ..HpcgConfig::single(8, 1, 8)
+        };
+        let b = HpcgBsp::new(cfg);
+        let phases = b.phases(0, 0);
+        assert!(matches!(phases[0], BspPhase::Exchange { .. }));
+        let colls = phases
+            .iter()
+            .filter(|p| matches!(p, BspPhase::Allreduce { .. }))
+            .count();
+        assert_eq!(colls, 2);
+        assert_eq!(b.face_count(0), 3);
+    }
+}

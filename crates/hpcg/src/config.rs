@@ -1,0 +1,67 @@
+//! HPCG configuration.
+
+/// Flops per row of the 27-point SpMV (27 multiply-adds).
+pub const F_SPMV: f64 = 54.0;
+/// Flops per element of a dot-product partial.
+pub const F_DOT: f64 = 2.0;
+/// Flops per element of an axpy.
+pub const F_AXPY: f64 = 2.0;
+
+/// One HPCG run configuration.
+#[derive(Clone, Debug)]
+pub struct HpcgConfig {
+    /// Grid points per edge per rank (local problem is `nx³`).
+    pub nx: usize,
+    /// CG iterations.
+    pub iterations: u64,
+    /// Vector blocks (the paper's TPL sweep of Fig. 9).
+    pub tpl: usize,
+    /// Ranks per edge of the cubic process grid.
+    pub px: usize,
+}
+
+impl HpcgConfig {
+    /// Single-rank configuration.
+    pub fn single(nx: usize, iterations: u64, tpl: usize) -> HpcgConfig {
+        HpcgConfig {
+            nx,
+            iterations,
+            tpl,
+            px: 1,
+        }
+    }
+
+    /// Local rows.
+    pub fn n_rows(&self) -> usize {
+        self.nx * self.nx * self.nx
+    }
+
+    /// Number of MPI ranks.
+    pub fn n_ranks(&self) -> u32 {
+        (self.px * self.px * self.px) as u32
+    }
+
+    /// Effective number of vector blocks (clamped to the row count).
+    pub fn blocks(&self) -> usize {
+        self.tpl.min(self.n_rows()).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let c = HpcgConfig::single(16, 10, 24);
+        assert_eq!(c.n_rows(), 4096);
+        assert_eq!(c.n_ranks(), 1);
+        assert_eq!(c.blocks(), 24);
+    }
+
+    #[test]
+    fn blocks_clamp() {
+        let c = HpcgConfig::single(2, 1, 1000);
+        assert_eq!(c.blocks(), 8);
+    }
+}

@@ -1,0 +1,153 @@
+//! Dependency handles of the task-based HPCG.
+
+use crate::config::HpcgConfig;
+use ptdg_core::handle::{DataHandle, HandleSpace};
+
+/// Handles of one rank's CG task program.
+#[derive(Clone, Debug)]
+pub struct HpcgHandles {
+    /// Row ranges `[lo, hi)` of the vector blocks.
+    pub blocks: Vec<(usize, usize)>,
+    /// Solution vector blocks.
+    pub x: Vec<DataHandle>,
+    /// Residual blocks.
+    pub r: Vec<DataHandle>,
+    /// Search-direction blocks.
+    pub p: Vec<DataHandle>,
+    /// `A·p` blocks.
+    pub ap: Vec<DataHandle>,
+    /// p·Ap partials (whole scratch vector; `inoutset` target).
+    pub pap_scratch: DataHandle,
+    /// r·r partials.
+    pub rr_scratch: DataHandle,
+    /// alpha (also carries rr forward).
+    pub alpha: DataHandle,
+    /// beta / rr.
+    pub beta: DataHandle,
+    /// Send buffers for the 6 faces.
+    pub sbuf: Vec<DataHandle>,
+    /// Receive buffers for the 6 faces.
+    pub rbuf: Vec<DataHandle>,
+    /// The sparse matrix itself (values + column indices ≈ 324 B/row):
+    /// constant, so no dependences — but it is the dominant memory
+    /// traffic of the SpMV, which is what makes HPCG bandwidth-bound.
+    pub matrix: DataHandle,
+}
+
+impl HpcgHandles {
+    /// Register every region in `space`.
+    pub fn build(space: &mut HandleSpace, cfg: &HpcgConfig) -> HpcgHandles {
+        let n = cfg.n_rows();
+        let k = cfg.blocks();
+        let blocks: Vec<(usize, usize)> = (0..k).map(|i| (n * i / k, n * (i + 1) / k)).collect();
+        let vec_handles = |space: &mut HandleSpace, name: &'static str| -> Vec<DataHandle> {
+            blocks
+                .iter()
+                .map(|&(a, b)| space.region(name, ((b - a) * 8) as u64))
+                .collect()
+        };
+        let x = vec_handles(space, "x");
+        let r = vec_handles(space, "r");
+        let p = vec_handles(space, "p");
+        let ap = vec_handles(space, "ap");
+        let pap_scratch = space.region("pap_scratch", (k * 8) as u64);
+        let rr_scratch = space.region("rr_scratch", (k * 8) as u64);
+        let alpha = space.region("alpha", 8);
+        let beta = space.region("beta", 8);
+        let face_bytes = (cfg.nx * cfg.nx * 8) as u64;
+        let sbuf = (0..6).map(|_| space.region("sbuf", face_bytes)).collect();
+        let rbuf = (0..6).map(|_| space.region("rbuf", face_bytes)).collect();
+        let matrix = space.region("matrix", (n * 324) as u64);
+        HpcgHandles {
+            blocks,
+            x,
+            r,
+            p,
+            ap,
+            pap_scratch,
+            rr_scratch,
+            alpha,
+            beta,
+            sbuf,
+            rbuf,
+            matrix,
+        }
+    }
+
+    /// Block indices whose `p` an SpMV task over rows `[a, b)` reads. The
+    /// 27-point stencil's farthest neighbour in flat row order is
+    /// `nx² + nx + 1` rows away (the (+1,+1,+1) corner), so the dependency
+    /// range must cover that full reach on both sides.
+    pub fn spmv_reads(&self, a: usize, b: usize, nx: usize) -> (usize, usize) {
+        let n = self.blocks.last().map(|&(_, e)| e).unwrap_or(0);
+        let reach = nx * nx + nx + 1;
+        let lo = a.saturating_sub(reach);
+        let hi = (b + reach).min(n);
+        let first = self
+            .blocks
+            .partition_point(|&(_, end)| end <= lo)
+            .min(self.blocks.len() - 1);
+        let last = self
+            .blocks
+            .partition_point(|&(start, _)| start < hi)
+            .saturating_sub(1)
+            .max(first);
+        (first, last)
+    }
+
+    /// Block indices overlapping the row range `[a, b)` exactly (no
+    /// stencil reach) — used for halo frontier dependences.
+    pub fn blocks_overlapping(&self, a: usize, b: usize) -> (usize, usize) {
+        self.spmv_reads_inner(a, b, 0)
+    }
+
+    fn spmv_reads_inner(&self, lo: usize, hi: usize, _z: usize) -> (usize, usize) {
+        let first = self
+            .blocks
+            .partition_point(|&(_, end)| end <= lo)
+            .min(self.blocks.len() - 1);
+        let last = self
+            .blocks
+            .partition_point(|&(start, _)| start < hi)
+            .saturating_sub(1)
+            .max(first);
+        (first, last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_counts() {
+        let cfg = HpcgConfig::single(8, 1, 16);
+        let mut sp = HandleSpace::new();
+        let h = HpcgHandles::build(&mut sp, &cfg);
+        assert_eq!(h.blocks.len(), 16);
+        assert_eq!(h.x.len(), 16);
+        assert_eq!(h.sbuf.len(), 6);
+        // 4 vectors × 16 + 2 scratch + 2 scalars + 12 buffers + matrix
+        assert_eq!(sp.len(), 4 * 16 + 2 + 2 + 12 + 1);
+    }
+
+    #[test]
+    fn spmv_reads_neighboring_blocks() {
+        let cfg = HpcgConfig::single(8, 1, 8); // 512 rows, plane=64, block=64
+        let mut sp = HandleSpace::new();
+        let h = HpcgHandles::build(&mut sp, &cfg);
+        // reach = 73 rows = just over one 64-row block
+        assert_eq!(h.spmv_reads(0, 64, 8), (0, 2));
+        assert_eq!(h.spmv_reads(64, 128, 8), (0, 3));
+        assert_eq!(h.spmv_reads(448, 512, 8), (5, 7));
+    }
+
+    #[test]
+    fn spmv_reads_whole_vector_when_blocks_are_small() {
+        let cfg = HpcgConfig::single(4, 1, 64); // 64 rows, plane=16, 64 blocks of 1
+        let mut sp = HandleSpace::new();
+        let h = HpcgHandles::build(&mut sp, &cfg);
+        let (lo, hi) = h.spmv_reads(32, 33, 4);
+        assert_eq!((lo, hi), (11, 53), "full stencil reach on each side");
+    }
+}

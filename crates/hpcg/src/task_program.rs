@@ -1,0 +1,367 @@
+//! The dependent-task CG iteration.
+
+use crate::config::*;
+use crate::handles::HpcgHandles;
+use crate::state::HpcgState;
+use ptdg_core::access::{AccessMode, Depend};
+use ptdg_core::builder::TaskSubmitter;
+use ptdg_core::handle::HandleSpace;
+use ptdg_core::task::TaskSpec;
+use ptdg_core::workdesc::{CommOp, HandleSlice, WorkDesc};
+use ptdg_simrt::{Rank, RankProgram};
+
+/// The task-based HPCG program.
+pub struct HpcgTask {
+    /// Run configuration.
+    pub cfg: HpcgConfig,
+    /// Block handles.
+    pub handles: HpcgHandles,
+    /// Handle space for the simulator.
+    pub space: HandleSpace,
+    /// Real vectors (single-rank thread execution) or `None` (simulation).
+    pub state: Option<HpcgState>,
+}
+
+impl HpcgTask {
+    /// Cost-model-only program.
+    pub fn new(cfg: HpcgConfig) -> HpcgTask {
+        let mut space = HandleSpace::new();
+        let handles = HpcgHandles::build(&mut space, &cfg);
+        HpcgTask {
+            cfg,
+            handles,
+            space,
+            state: None,
+        }
+    }
+
+    /// Program with real vectors (requires a single rank).
+    pub fn with_state(cfg: HpcgConfig) -> HpcgTask {
+        assert_eq!(cfg.n_ranks(), 1, "real execution is single-rank");
+        let state = HpcgState::new(&cfg);
+        let mut t = HpcgTask::new(cfg);
+        t.state = Some(state);
+        t
+    }
+
+    /// Six face-neighbor ranks of `rank` in the cubic grid (dir: 0..6 for
+    /// -x,+x,-y,+y,-z,+z).
+    fn face_neighbors(&self, rank: Rank) -> Vec<(usize, Rank)> {
+        let p = self.cfg.px;
+        let r = rank as usize;
+        let (x, y, z) = (r % p, (r / p) % p, r / (p * p));
+        let mut v = Vec::new();
+        let idx = |x: usize, y: usize, z: usize| ((z * p + y) * p + x) as Rank;
+        if x > 0 {
+            v.push((0, idx(x - 1, y, z)));
+        }
+        if x + 1 < p {
+            v.push((1, idx(x + 1, y, z)));
+        }
+        if y > 0 {
+            v.push((2, idx(x, y - 1, z)));
+        }
+        if y + 1 < p {
+            v.push((3, idx(x, y + 1, z)));
+        }
+        if z > 0 {
+            v.push((4, idx(x, y, z - 1)));
+        }
+        if z + 1 < p {
+            v.push((5, idx(x, y, z + 1)));
+        }
+        v
+    }
+}
+
+impl RankProgram for HpcgTask {
+    fn n_iterations(&self) -> u64 {
+        self.cfg.iterations
+    }
+
+    fn build_iteration(&self, rank: Rank, _iter: u64, sub: &mut dyn TaskSubmitter) {
+        use AccessMode::*;
+        let h = &self.handles;
+        let cfg = &self.cfg;
+        let space = &self.space;
+        let nx = cfg.nx;
+        let want = sub.wants_bodies() && self.state.is_some();
+        let multi = cfg.n_ranks() > 1;
+        let whole = |hd| HandleSlice::whole(hd, space.info(hd).bytes);
+
+        // Halo exchange of p with the 6 face neighbors, before the SpMV.
+        if multi {
+            for (dir, peer) in self.face_neighbors(rank) {
+                let bytes = space.info(h.sbuf[dir]).bytes;
+                // frontier blocks: the first/last plane of rows for z
+                // faces, everything for x/y faces (blocked by flat row
+                // index, like the LULESH slabs).
+                let n = cfg.n_rows();
+                let plane = nx * nx;
+                let (fa, fb) = match dir {
+                    4 => (0, plane),
+                    5 => (n - plane, n),
+                    _ => (0, n),
+                };
+                let (s0, s1) = h.blocks_overlapping(fa, fb.max(fa + 1));
+                sub.submit(
+                    TaskSpec::new("MPI_Irecv")
+                        .depend(h.rbuf[dir], Out)
+                        .comm(CommOp::Irecv {
+                            peer,
+                            bytes,
+                            tag: (dir ^ 1) as u32,
+                        }),
+                );
+                let mut deps: Vec<Depend> = (s0..=s1).map(|i| Depend::read(h.p[i])).collect();
+                deps.push(Depend::write(h.sbuf[dir]));
+                sub.submit(TaskSpec::new("PackHalo").depends(deps).work(WorkDesc {
+                    flops: bytes as f64 / 8.0,
+                    footprint: vec![whole(h.sbuf[dir])],
+                }));
+                sub.submit(
+                    TaskSpec::new("MPI_Isend")
+                        .depend(h.sbuf[dir], In)
+                        .comm(CommOp::Isend {
+                            peer,
+                            bytes,
+                            tag: dir as u32,
+                        }),
+                );
+                let mut deps = vec![Depend::read(h.rbuf[dir])];
+                deps.extend((s0..=s1).map(|i| Depend::new(h.p[i], InOut)));
+                sub.submit(TaskSpec::new("UnpackHalo").depends(deps).work(WorkDesc {
+                    flops: bytes as f64 / 8.0,
+                    footprint: vec![whole(h.rbuf[dir])],
+                }));
+            }
+        }
+
+        // SpMV: row block i reads the neighbouring p blocks.
+        for (i, &(a, b)) in h.blocks.iter().enumerate() {
+            let (p0, p1) = h.spmv_reads(a, b, nx);
+            let mut deps: Vec<Depend> = (p0..=p1).map(|j| Depend::read(h.p[j])).collect();
+            deps.push(Depend::write(h.ap[i]));
+            let mut fp: Vec<HandleSlice> = (p0..=p1).map(|j| whole(h.p[j])).collect();
+            fp.push(whole(h.ap[i]));
+            fp.push(HandleSlice {
+                handle: h.matrix,
+                offset: a as u64 * 324,
+                len: (b - a) as u64 * 324,
+            });
+            let mut spec = TaskSpec::new("SpMV").depends(deps).work(WorkDesc {
+                flops: (b - a) as f64 * F_SPMV,
+                footprint: fp,
+            });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_spmv(a..b));
+            }
+            sub.submit(spec);
+        }
+
+        // Partial p·Ap into the scratch vector (concurrent writes).
+        for (i, &(a, b)) in h.blocks.iter().enumerate() {
+            let mut spec = TaskSpec::new("DotPAp")
+                .depend(h.p[i], In)
+                .depend(h.ap[i], In)
+                .depend(h.pap_scratch, InOutSet)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_DOT,
+                    footprint: vec![
+                        whole(h.p[i]),
+                        whole(h.ap[i]),
+                        HandleSlice {
+                            handle: h.pap_scratch,
+                            offset: i as u64 * 8,
+                            len: 8,
+                        },
+                    ],
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_dot_pap(a..b, i));
+            }
+            sub.submit(spec);
+        }
+
+        // Reduce + alpha (carries the collective).
+        {
+            let mut spec = TaskSpec::new("ReduceAlpha")
+                .depend(h.pap_scratch, In)
+                .depend(h.alpha, AccessMode::InOut)
+                .work(WorkDesc {
+                    flops: h.blocks.len() as f64,
+                    footprint: vec![whole(h.pap_scratch), whole(h.alpha)],
+                });
+            if multi {
+                spec = spec.comm(CommOp::Iallreduce { bytes: 8 });
+            }
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_alpha());
+            }
+            sub.submit(spec);
+        }
+
+        // x += alpha p ; r -= alpha ap.
+        for (i, &(a, b)) in h.blocks.iter().enumerate() {
+            let mut spec = TaskSpec::new("AxpyX")
+                .depend(h.alpha, In)
+                .depend(h.p[i], In)
+                .depend(h.x[i], AccessMode::InOut)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_AXPY,
+                    footprint: vec![whole(h.p[i]), whole(h.x[i])],
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_axpy_x(a..b));
+            }
+            sub.submit(spec);
+        }
+        for (i, &(a, b)) in h.blocks.iter().enumerate() {
+            let mut spec = TaskSpec::new("AxpyR")
+                .depend(h.alpha, In)
+                .depend(h.ap[i], In)
+                .depend(h.r[i], AccessMode::InOut)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_AXPY,
+                    footprint: vec![whole(h.ap[i]), whole(h.r[i])],
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_axpy_r(a..b));
+            }
+            sub.submit(spec);
+        }
+
+        // Partial r·r.
+        for (i, &(a, b)) in h.blocks.iter().enumerate() {
+            let mut spec = TaskSpec::new("DotRR")
+                .depend(h.r[i], In)
+                .depend(h.rr_scratch, InOutSet)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_DOT,
+                    footprint: vec![
+                        whole(h.r[i]),
+                        HandleSlice {
+                            handle: h.rr_scratch,
+                            offset: i as u64 * 8,
+                            len: 8,
+                        },
+                    ],
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_dot_rr(a..b, i));
+            }
+            sub.submit(spec);
+        }
+
+        // Reduce + beta (second collective; also reads/writes rr via alpha
+        // handle's region ordering: beta depends on alpha to serialize the
+        // scalar updates).
+        {
+            let mut spec = TaskSpec::new("ReduceBeta")
+                .depend(h.rr_scratch, In)
+                .depend(h.alpha, In)
+                .depend(h.beta, AccessMode::InOut)
+                .work(WorkDesc {
+                    flops: h.blocks.len() as f64,
+                    footprint: vec![whole(h.rr_scratch), whole(h.beta)],
+                });
+            if multi {
+                spec = spec.comm(CommOp::Iallreduce { bytes: 8 });
+            }
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_beta());
+            }
+            sub.submit(spec);
+        }
+
+        // p = r + beta p.
+        for (i, &(a, b)) in h.blocks.iter().enumerate() {
+            let mut spec = TaskSpec::new("UpdateP")
+                .depend(h.beta, In)
+                .depend(h.r[i], In)
+                .depend(h.p[i], AccessMode::InOut)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_AXPY,
+                    footprint: vec![whole(h.r[i]), whole(h.p[i])],
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_update_p(a..b));
+            }
+            sub.submit(spec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptdg_core::builder::{CountingSubmitter, RecordingSubmitter};
+
+    #[test]
+    fn task_count_per_iteration() {
+        let cfg = HpcgConfig::single(8, 1, 16);
+        let prog = HpcgTask::new(cfg);
+        let mut c = CountingSubmitter::default();
+        prog.build_iteration(0, 0, &mut c);
+        // 6 sliced loops × 16 + 2 reduces
+        assert_eq!(c.tasks, 6 * 16 + 2);
+    }
+
+    #[test]
+    fn multi_rank_adds_halo_and_collectives() {
+        let cfg = HpcgConfig {
+            px: 2,
+            ..HpcgConfig::single(8, 1, 8)
+        };
+        let prog = HpcgTask::new(cfg);
+        let mut c = RecordingSubmitter::default();
+        prog.build_iteration(0, 0, &mut c);
+        // rank 0 of a 2³ grid has 3 face neighbors × 4 tasks
+        let halo = c
+            .specs
+            .iter()
+            .filter(|s| s.name.contains("Halo") || s.name.starts_with("MPI_"))
+            .count();
+        assert_eq!(halo, 12);
+        let colls = c
+            .specs
+            .iter()
+            .filter(|s| matches!(s.comm, Some(CommOp::Iallreduce { .. })))
+            .count();
+        assert_eq!(colls, 2);
+    }
+
+    #[test]
+    fn halo_tags_pair_up() {
+        let cfg = HpcgConfig {
+            px: 2,
+            ..HpcgConfig::single(4, 1, 4)
+        };
+        let prog = HpcgTask::new(cfg.clone());
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for r in 0..cfg.n_ranks() {
+            let mut c = RecordingSubmitter::default();
+            prog.build_iteration(r, 0, &mut c);
+            for s in &c.specs {
+                match s.comm {
+                    Some(CommOp::Isend { peer, bytes, tag }) => sends.push((r, peer, tag, bytes)),
+                    Some(CommOp::Irecv { peer, bytes, tag }) => recvs.push((peer, r, tag, bytes)),
+                    _ => {}
+                }
+            }
+        }
+        sends.sort_unstable();
+        recvs.sort_unstable();
+        assert_eq!(sends, recvs);
+        assert_eq!(sends.len(), 8 * 3);
+    }
+}

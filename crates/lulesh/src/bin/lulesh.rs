@@ -1,0 +1,132 @@
+//! A LULESH-style command line for the proxy app, mirroring the original
+//! flags (`-s`, `-i`) plus the task-version knobs of the paper's port
+//! (`-tel` tasks-per-loop, `--parallel-for`, `--persistent`).
+//!
+//! ```sh
+//! cargo run --release -p ptdg-lulesh --bin lulesh -- -s 12 -i 20 -tel 32
+//! ```
+
+use ptdg_core::exec::{ExecConfig, Executor, SchedPolicy};
+use ptdg_core::opts::OptConfig;
+use ptdg_core::throttle::ThrottleConfig;
+use ptdg_lulesh::sequential::run_sequential;
+use ptdg_lulesh::{LuleshConfig, LuleshTask};
+use ptdg_simrt::RankProgram;
+
+struct Args {
+    s: usize,
+    i: u64,
+    tel: usize,
+    workers: usize,
+    parallel_for: bool,
+    persistent: bool,
+}
+
+fn parse() -> Result<Args, String> {
+    let mut args = Args {
+        s: 10,
+        i: 10,
+        tel: 24,
+        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        parallel_for: false,
+        persistent: true,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut k = 0;
+    let mut next = |k: &mut usize| -> Result<usize, String> {
+        *k += 1;
+        argv.get(*k)
+            .ok_or_else(|| format!("missing value after {}", argv[*k - 1]))?
+            .parse::<usize>()
+            .map_err(|e| format!("bad number after {}: {e}", argv[*k - 1]))
+    };
+    while k < argv.len() {
+        match argv[k].as_str() {
+            "-s" => args.s = next(&mut k)?,
+            "-i" => args.i = next(&mut k)? as u64,
+            "-tel" => args.tel = next(&mut k)?,
+            "-t" | "--workers" => args.workers = next(&mut k)?,
+            "--parallel-for" => args.parallel_for = true,
+            "--no-persistent" => args.persistent = false,
+            "-h" | "--help" => {
+                return Err(
+                    "usage: lulesh [-s edge] [-i iters] [-tel tasks-per-loop] \
+                     [-t workers] [--parallel-for] [--no-persistent]"
+                        .into(),
+                )
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+        k += 1;
+    }
+    Ok(args)
+}
+
+fn main() {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let t0 = std::time::Instant::now();
+    if args.parallel_for {
+        // the fork-join reference: plain sequential loops here stand in
+        // for the statically-chunked version (identical numerics)
+        let st = run_sequential(args.s, args.i, args.tel);
+        println!(
+            "parallel-for LULESH -s {} -i {}: energy {:.6}, dt {:.3e}, {:.3}s",
+            args.s,
+            args.i,
+            st.total_energy(),
+            *st.dt.get(0),
+            t0.elapsed().as_secs_f64()
+        );
+        return;
+    }
+    let cfg = LuleshConfig::single(args.s, args.i, args.tel);
+    let prog = LuleshTask::with_state(cfg.clone());
+    let exec = Executor::new(ExecConfig {
+        n_workers: args.workers,
+        policy: SchedPolicy::DepthFirst,
+        throttle: ThrottleConfig::mpc_default(),
+        profile: false,
+    });
+    if args.persistent {
+        let mut region = exec.persistent_region(OptConfig::all());
+        for iter in 0..cfg.iterations {
+            region.run(iter, |sub| prog.build_iteration(0, iter, sub));
+        }
+        let t = region.template().unwrap();
+        println!(
+            "persistent TDG: {} tasks, {} edges per iteration",
+            t.n_tasks(),
+            t.n_edges()
+        );
+    } else {
+        let mut session = exec.session(OptConfig::all());
+        for iter in 0..cfg.iterations {
+            prog.build_iteration(0, iter, &mut session);
+        }
+        session.wait_all();
+        println!("streaming discovery: {:?}", session.stats());
+    }
+    let st = prog.state.as_ref().unwrap();
+    let reference = run_sequential(args.s, args.i, args.tel.min(args.s.pow(3)));
+    println!(
+        "task LULESH -s {} -i {} -tel {} on {} workers: energy {:.6}, dt {:.3e}, {:.3}s ({})",
+        args.s,
+        args.i,
+        args.tel,
+        args.workers,
+        st.total_energy(),
+        *st.dt.get(0),
+        t0.elapsed().as_secs_f64(),
+        if st.digest() == reference.digest() {
+            "verified vs sequential"
+        } else {
+            "MISMATCH vs sequential"
+        }
+    );
+}

@@ -1,0 +1,323 @@
+//! The reference `parallel for` LULESH (paper §2.1).
+//!
+//! Same loop sequence and data flow as the task version, expressed as
+//! fork-join phases: each loop is statically chunked over cores and ends
+//! in a barrier; the dt all-reduce blocks at the start of the iteration;
+//! the neighbor exchange blocks between iterations.
+
+use crate::config::*;
+use crate::mesh::{Mesh, RankGrid};
+use ptdg_core::handle::{DataHandle, HandleSpace};
+use ptdg_core::workdesc::HandleSlice;
+use ptdg_simrt::{BspPhase, BspProgram, Rank};
+
+/// Whole-array handles of the fork-join version.
+pub struct LuleshBsp {
+    /// Run configuration (TPL is ignored: chunking is per-core).
+    pub cfg: LuleshConfig,
+    /// The handle space to pass to the simulator.
+    pub space: HandleSpace,
+    pos: [DataHandle; 3],
+    vel: [DataHandle; 3],
+    force: [DataHandle; 3],
+    mass: DataHandle,
+    sig: DataHandle,
+    kin: [DataHandle; 2],
+    eos: [DataHandle; 4],
+    qgrad: [DataHandle; 2],
+    qq: [DataHandle; 2],
+    epass: [DataHandle; 2],
+    acc: [DataHandle; 3],
+    tmp_elem: DataHandle,
+    tmp_node: DataHandle,
+}
+
+impl LuleshBsp {
+    /// Register the whole-array regions.
+    pub fn new(cfg: LuleshConfig) -> LuleshBsp {
+        let mesh = Mesh::new(cfg.s);
+        let nn = (mesh.n_nodes() * 8) as u64;
+        let ne = (mesh.n_elems() * 8) as u64;
+        let mut space = HandleSpace::new();
+        let tmp_elem = space.region("tmp_elem", (mesh.n_elems() * 8 * 6) as u64);
+        let tmp_node = space.region("tmp_node", (mesh.n_nodes() * 8 * 2) as u64);
+        let pos = [
+            space.region("x", nn),
+            space.region("y", nn),
+            space.region("z", nn),
+        ];
+        let vel = [
+            space.region("xd", nn),
+            space.region("yd", nn),
+            space.region("zd", nn),
+        ];
+        let force = [
+            space.region("fx", nn),
+            space.region("fy", nn),
+            space.region("fz", nn),
+        ];
+        let mass = space.region("mass", nn);
+        let sig = space.region("sig", ne);
+        let kin = [space.region("v", ne), space.region("delv", ne)];
+        let eos = [
+            space.region("e", ne),
+            space.region("p", ne),
+            space.region("q", ne),
+            space.region("ss", ne),
+        ];
+        let qgrad = [space.region("delv_xi", ne), space.region("delv_eta", ne)];
+        let qq = [space.region("qq", ne), space.region("ql", ne)];
+        let epass = [space.region("e_old", ne), space.region("work", ne)];
+        let acc = [
+            space.region("xdd", nn),
+            space.region("ydd", nn),
+            space.region("zdd", nn),
+        ];
+        LuleshBsp {
+            cfg,
+            space,
+            pos,
+            vel,
+            force,
+            mass,
+            sig,
+            kin,
+            eos,
+            qgrad,
+            qq,
+            epass,
+            acc,
+            tmp_elem,
+            tmp_node,
+        }
+    }
+
+    fn whole(&self, hs: &[DataHandle]) -> Vec<HandleSlice> {
+        hs.iter()
+            .map(|&h| HandleSlice::whole(h, self.space.info(h).bytes))
+            .collect()
+    }
+}
+
+impl BspProgram for LuleshBsp {
+    fn n_iterations(&self) -> u64 {
+        self.cfg.iterations
+    }
+
+    fn phases(&self, rank: Rank, _iter: u64) -> Vec<BspPhase> {
+        let mesh = Mesh::new(self.cfg.s);
+        let ne = mesh.n_elems() as f64;
+        let nn = mesh.n_nodes() as f64;
+        let mut v = Vec::new();
+        // Blocking dt reduction at the start of the iteration.
+        if self.cfg.n_ranks() > 1 {
+            v.push(BspPhase::Allreduce { bytes: 8 });
+        }
+        v.push(BspPhase::Loop {
+            name: "CalcStressForElems",
+            flops: ne * F_STRESS,
+            footprint: {
+                let mut fp = self.whole(&[self.eos[1], self.eos[2]]);
+                fp.extend(self.whole(&[self.sig]));
+                fp
+            },
+        });
+        v.push(BspPhase::Loop {
+            name: "CalcForceForNodes",
+            flops: nn * F_ZEROF,
+            footprint: self.whole(&self.force),
+        });
+        v.push(BspPhase::Loop {
+            name: "CalcFBHourglassForceForElems",
+            flops: nn * F_FORCE,
+            footprint: {
+                let mut fp = self.whole(&[self.sig]);
+                fp.extend(self.whole(&self.force));
+                fp.extend(self.whole(&self.pos));
+                fp.extend(self.whole(&[self.tmp_node]));
+                fp.push(HandleSlice {
+                    handle: self.tmp_elem,
+                    offset: 0,
+                    len: self.space.info(self.tmp_elem).bytes * 4 / 6,
+                });
+                fp
+            },
+        });
+        v.push(BspPhase::Loop {
+            name: "CalcAccelerationForNodes",
+            flops: nn * F_ACCSOLVE,
+            footprint: {
+                let mut fp = self.whole(&self.force);
+                fp.extend(self.whole(&self.acc));
+                fp.extend(self.whole(&[self.mass]));
+                fp
+            },
+        });
+        v.push(BspPhase::Loop {
+            name: "CalcVelocityForNodes",
+            flops: nn * F_ACCEL,
+            footprint: {
+                let mut fp = self.whole(&self.acc);
+                fp.extend(self.whole(&self.vel));
+                fp
+            },
+        });
+        v.push(BspPhase::Loop {
+            name: "CalcPositionForNodes",
+            flops: nn * F_POS,
+            footprint: {
+                let mut fp = self.whole(&self.vel);
+                fp.extend(self.whole(&self.pos));
+                fp
+            },
+        });
+        // Blocking frontier exchange: the entire domain must be computed
+        // before any request is posted (no overlap potential).
+        if self.cfg.n_ranks() > 1 {
+            let mut sends = Vec::new();
+            let mut recvs = Vec::new();
+            for nb in self.cfg.grid.neighbors(rank) {
+                let bytes = RankGrid::message_bytes(self.cfg.s, nb.axes, EXCHANGE_FIELDS);
+                sends.push((nb.rank, bytes, nb.dir as u32));
+                recvs.push((nb.rank, bytes, RankGrid::opposite(nb.dir) as u32));
+            }
+            v.push(BspPhase::Exchange { sends, recvs });
+        }
+        v.push(BspPhase::Loop {
+            name: "CalcLagrangeElements",
+            flops: ne * F_KIN,
+            footprint: {
+                let mut fp = self.whole(&self.pos);
+                fp.extend(self.whole(&self.vel));
+                fp.extend(self.whole(&self.kin));
+                fp.push(HandleSlice {
+                    handle: self.tmp_elem,
+                    offset: 0,
+                    len: self.space.info(self.tmp_elem).bytes / 6,
+                });
+                fp
+            },
+        });
+        v.push(BspPhase::Loop {
+            name: "CalcMonotonicQGradientsForElems",
+            flops: ne * F_QGRAD,
+            footprint: {
+                let mut fp = self.whole(&self.pos);
+                fp.extend(self.whole(&self.vel));
+                fp.extend(self.whole(&self.kin));
+                fp.extend(self.whole(&self.qgrad));
+                fp
+            },
+        });
+        v.push(BspPhase::Loop {
+            name: "CalcMonotonicQRegionForElems",
+            flops: ne * F_QREGION,
+            footprint: {
+                let mut fp = self.whole(&self.qgrad);
+                fp.extend(self.whole(&self.qq));
+                fp
+            },
+        });
+        v.push(BspPhase::Loop {
+            name: "CalcEnergyForElems",
+            flops: ne * F_EPASS,
+            footprint: {
+                let mut fp = self.whole(&self.kin);
+                fp.extend(self.whole(&self.qq));
+                fp.extend(self.whole(&self.epass));
+                fp
+            },
+        });
+        v.push(BspPhase::Loop {
+            name: "EvalEOSForElems",
+            flops: ne * F_EOS,
+            footprint: {
+                let mut fp = self.whole(&self.kin);
+                fp.extend(self.whole(&self.eos));
+                fp.extend(self.whole(&self.qq));
+                fp.extend(self.whole(&self.epass));
+                fp.push(HandleSlice {
+                    handle: self.tmp_elem,
+                    offset: 0,
+                    len: self.space.info(self.tmp_elem).bytes / 3,
+                });
+                fp
+            },
+        });
+        v.push(BspPhase::Loop {
+            name: "UpdateVolumesForElems",
+            flops: ne * F_UPDVOL,
+            footprint: {
+                let mut fp = self.whole(&self.eos);
+                fp.extend(self.whole(&self.kin));
+                fp
+            },
+        });
+        v.push(BspPhase::Loop {
+            name: "CalcCourantConstraintForElems",
+            flops: ne * F_COURANT,
+            footprint: self.whole(&[self.eos[3]]),
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_has_no_comm_phases() {
+        let p = LuleshBsp::new(LuleshConfig::single(8, 2, 16));
+        let phases = p.phases(0, 0);
+        assert_eq!(phases.len(), 13);
+        assert!(phases
+            .iter()
+            .all(|ph| matches!(ph, BspPhase::Loop { .. })));
+    }
+
+    #[test]
+    fn multi_rank_adds_allreduce_and_exchange() {
+        let cfg = LuleshConfig {
+            grid: RankGrid::cube(27),
+            ..LuleshConfig::single(6, 1, 8)
+        };
+        let p = LuleshBsp::new(cfg);
+        let phases = p.phases(13, 0); // center rank
+        assert!(matches!(phases[0], BspPhase::Allreduce { bytes: 8 }));
+        let ex = phases
+            .iter()
+            .find_map(|ph| match ph {
+                BspPhase::Exchange { sends, recvs } => Some((sends.len(), recvs.len())),
+                _ => None,
+            })
+            .expect("exchange phase");
+        assert_eq!(ex, (26, 26));
+    }
+
+    #[test]
+    fn bsp_send_recv_tags_pair_up() {
+        let cfg = LuleshConfig {
+            grid: RankGrid::cube(8),
+            ..LuleshConfig::single(4, 1, 4)
+        };
+        let p = LuleshBsp::new(cfg);
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for r in 0..8u32 {
+            for ph in p.phases(r, 0) {
+                if let BspPhase::Exchange { sends: s, recvs: rc } = ph {
+                    for (peer, bytes, tag) in s {
+                        sends.push((r, peer, tag, bytes));
+                    }
+                    for (peer, bytes, tag) in rc {
+                        recvs.push((peer, r, tag, bytes));
+                    }
+                }
+            }
+        }
+        sends.sort_unstable();
+        recvs.sort_unstable();
+        assert_eq!(sends, recvs);
+    }
+}

@@ -1,0 +1,110 @@
+//! Configuration and cost constants of the LULESH proxy.
+
+use crate::mesh::RankGrid;
+
+// Cost-model flop counts per item, calibrated to the real LULESH kernel
+// weights (the hourglass force is by far the heaviest loop; the EOS and
+// kinematics do substantial per-element work). Together with the
+// temporary-work-array footprints these yield the paper's measured grain
+// of ~160 ns per element-loop visit and a memory share large enough for
+// the cache hierarchy to matter (LULESH is DRAM-bandwidth bound).
+
+/// Flops per element for the stress loop.
+pub const F_STRESS: f64 = 16.0;
+/// Flops per node for the force gather (hourglass control).
+pub const F_FORCE: f64 = 450.0;
+/// Flops per node for acceleration + velocity.
+pub const F_ACCEL: f64 = 72.0;
+/// Flops per node for the position update.
+pub const F_POS: f64 = 48.0;
+/// Flops per element for kinematics (volume gradients).
+pub const F_KIN: f64 = 112.0;
+/// Flops per element for the EOS (iterated material update).
+pub const F_EOS: f64 = 128.0;
+/// Flops per element for the courant constraint.
+pub const F_COURANT: f64 = 24.0;
+/// Flops per node for zeroing/collecting nodal forces.
+pub const F_ZEROF: f64 = 6.0;
+/// Flops per node for the acceleration solve (F/m + boundary conditions).
+pub const F_ACCSOLVE: f64 = 40.0;
+/// Flops per element for the monotonic-Q gradient loop.
+pub const F_QGRAD: f64 = 80.0;
+/// Flops per element for the monotonic-Q region loop.
+pub const F_QREGION: f64 = 60.0;
+/// Flops per element for the first energy pass of the EOS.
+pub const F_EPASS: f64 = 64.0;
+/// Flops per element for UpdateVolumesForElems.
+pub const F_UPDVOL: f64 = 8.0;
+/// Doubles exchanged per frontier node (positions, velocities and
+/// boundary forces, as in LULESH's CommSBN + CommSyncPos).
+pub const EXCHANGE_FIELDS: usize = 9;
+
+/// One LULESH run configuration (the command line of the proxy app).
+#[derive(Clone, Debug)]
+pub struct LuleshConfig {
+    /// Elements per edge per rank (`-s`).
+    pub s: usize,
+    /// Time-step iterations (`-i`).
+    pub iterations: u64,
+    /// Tasks per mesh-wide loop (`-tel`, the paper's TPL).
+    pub tpl: usize,
+    /// Optimization (a): minimized `depend` lists (fused handles per
+    /// logical group instead of one per array).
+    pub fused_deps: bool,
+    /// Rank topology (cubic).
+    pub grid: RankGrid,
+    /// Fence communications with `taskwait`-like barriers (the paper's
+    /// §4.1 counter-experiment, +7% total time).
+    pub taskwait_fenced: bool,
+}
+
+impl LuleshConfig {
+    /// Single-rank configuration.
+    pub fn single(s: usize, iterations: u64, tpl: usize) -> LuleshConfig {
+        LuleshConfig {
+            s,
+            iterations,
+            tpl,
+            fused_deps: true,
+            grid: RankGrid::cube(1),
+            taskwait_fenced: false,
+        }
+    }
+
+    /// Number of MPI ranks.
+    pub fn n_ranks(&self) -> u32 {
+        self.grid.n_ranks() as u32
+    }
+
+    /// Total tasks generated per iteration per rank (compute loops only,
+    /// excluding redirects and communication tasks).
+    pub fn compute_tasks_per_iteration(&self) -> usize {
+        // 1 dt + 8 element-sliced + 5 node-sliced loops (the full LULESH
+        // loop sequence: stress, Q gradient/region, energy pass, EOS,
+        // volume update, kinematics, courant; force zero/gather,
+        // acceleration, velocity, position)
+        let ne_slices = self.tpl.min(self.s * self.s * self.s);
+        let nn_slices = self.tpl.min((self.s + 1) * (self.s + 1) * (self.s + 1));
+        1 + 8 * ne_slices + 5 * nn_slices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_config() {
+        let c = LuleshConfig::single(16, 4, 96);
+        assert_eq!(c.n_ranks(), 1);
+        assert!(!c.taskwait_fenced);
+        assert!(c.fused_deps);
+        assert_eq!(c.compute_tasks_per_iteration(), 1 + 13 * 96);
+    }
+
+    #[test]
+    fn tpl_clamps_to_mesh() {
+        let c = LuleshConfig::single(2, 1, 1000); // 8 elems, 27 nodes
+        assert_eq!(c.compute_tasks_per_iteration(), 1 + 8 * 8 + 5 * 27);
+    }
+}

@@ -1,0 +1,269 @@
+//! Dependency handles of the task-based LULESH.
+//!
+//! One handle per array slice at the chosen TPL — or, with optimization
+//! (a) (`fused_deps`), one handle per *logical group* of arrays that are
+//! always accessed together (positions x/y/z, velocities, the EOS fields,
+//! the force arrays). Fusing removes both the redundant edges and the cost
+//! of probing for them, exactly as the paper's Fig. 3 describes.
+
+use crate::config::{LuleshConfig, EXCHANGE_FIELDS};
+use crate::mesh::{slices, Mesh, RankGrid};
+use ptdg_core::handle::{DataHandle, HandleSpace};
+use ptdg_core::workdesc::HandleSlice;
+
+/// All handles of one rank's task program.
+#[derive(Clone, Debug)]
+pub struct LuleshHandles {
+    /// Element slice ranges `[lo, hi)`.
+    pub elem_slices: Vec<(usize, usize)>,
+    /// Node slice ranges `[lo, hi)`.
+    pub node_slices: Vec<(usize, usize)>,
+    /// Per element slice: stress.
+    pub sig: Vec<DataHandle>,
+    /// Per element slice: kinematics outputs (v, delv).
+    pub kin: Vec<Vec<DataHandle>>,
+    /// Per element slice: EOS fields (e, p, q, ss).
+    pub eos: Vec<Vec<DataHandle>>,
+    /// Whole-array monotonic-Q gradients (delv_xi, delv_eta). The
+    /// gradient loop writes them through the mesh's element indirection,
+    /// so the port cannot express sliced dependences: every gradient task
+    /// declares `inoutset` on the whole arrays and every Q-region task
+    /// reads them — the m·n pattern of the paper's Fig. 4.
+    pub qgrad: Vec<DataHandle>,
+    /// Per element slice: Q limiter fields (qq, ql).
+    pub qq: Vec<Vec<DataHandle>>,
+    /// Per element slice: energy-pass temporaries (e_old, work).
+    pub epass: Vec<Vec<DataHandle>>,
+    /// Per node slice: positions (x, y, z).
+    pub pos: Vec<Vec<DataHandle>>,
+    /// Per node slice: velocities (xd, yd, zd).
+    pub vel: Vec<Vec<DataHandle>>,
+    /// Per node slice: accelerations (xdd, ydd, zdd).
+    pub acc: Vec<Vec<DataHandle>>,
+    /// Per node slice: forces (fx, fy, fz) — the `inoutset` target of the
+    /// force loop. Each slice is written concurrently by the 2–3
+    /// neighbouring force tasks whose element slabs touch it (the
+    /// concurrent-write groups of the paper's Fig. 4), and read by the
+    /// acceleration task and, at rank frontiers, the pack task.
+    pub force: Vec<Vec<DataHandle>>,
+    /// Whole-array nodal mass (read-only; used for footprints).
+    pub mass: DataHandle,
+    /// The dt scratch vector (one slot per courant task).
+    pub scratch: DataHandle,
+    /// The global dt.
+    pub dt: DataHandle,
+    /// Send buffers, one per direction 0..26.
+    pub sbuf: Vec<DataHandle>,
+    /// Receive buffers, one per direction 0..26.
+    pub rbuf: Vec<DataHandle>,
+    /// Fence handle for the `taskwait` emulation.
+    pub fence: DataHandle,
+    /// Globally-allocated temporary work arrays (element-sized ×6): the
+    /// backported optimization the paper mentions in §2.1. They carry no
+    /// dependences (each loop fully rewrites its slab) but they are real
+    /// memory traffic, so they appear in footprints.
+    pub tmp_elem: DataHandle,
+    /// Node-sized temporary work arrays (×2).
+    pub tmp_node: DataHandle,
+    /// Bytes per node-slice group (for footprints): 8 per array.
+    pub n_nodes: usize,
+    /// Elements of the mesh.
+    pub n_elems: usize,
+}
+
+impl LuleshHandles {
+    /// Register every region of one rank in `space`.
+    pub fn build(space: &mut HandleSpace, cfg: &LuleshConfig) -> LuleshHandles {
+        let mesh = Mesh::new(cfg.s);
+        let ne = mesh.n_elems();
+        let nn = mesh.n_nodes();
+        let elem_slices = slices(ne, cfg.tpl);
+        let node_slices = slices(nn, cfg.tpl);
+        let fused = cfg.fused_deps;
+
+        let group = |space: &mut HandleSpace, name, len: usize, arrays: usize| -> Vec<DataHandle> {
+            if fused {
+                vec![space.region(name, (len * 8 * arrays) as u64)]
+            } else {
+                (0..arrays)
+                    .map(|_| space.region(name, (len * 8) as u64))
+                    .collect()
+            }
+        };
+
+        let sig = elem_slices
+            .iter()
+            .map(|&(a, b)| space.region("sig", ((b - a) * 8) as u64))
+            .collect();
+        let kin = elem_slices
+            .iter()
+            .map(|&(a, b)| group(space, "kin", b - a, 2))
+            .collect();
+        let eos = elem_slices
+            .iter()
+            .map(|&(a, b)| group(space, "eos", b - a, 4))
+            .collect();
+        let qgrad = group(space, "qgrad", ne, 2);
+        let qq = elem_slices
+            .iter()
+            .map(|&(a, b)| group(space, "qq", b - a, 2))
+            .collect();
+        let epass = elem_slices
+            .iter()
+            .map(|&(a, b)| group(space, "epass", b - a, 2))
+            .collect();
+        let pos = node_slices
+            .iter()
+            .map(|&(a, b)| group(space, "pos", b - a, 3))
+            .collect();
+        let vel = node_slices
+            .iter()
+            .map(|&(a, b)| group(space, "vel", b - a, 3))
+            .collect();
+        let acc = node_slices
+            .iter()
+            .map(|&(a, b)| group(space, "acc", b - a, 3))
+            .collect();
+        let force = node_slices
+            .iter()
+            .map(|&(a, b)| group(space, "force", b - a, 3))
+            .collect();
+        let mass = space.region("mass", (nn * 8) as u64);
+        let scratch = space.region("scratch", (elem_slices.len() * 8) as u64);
+        let dt = space.region("dt", 8);
+        let dirs = RankGrid::directions();
+        let sbuf = dirs
+            .iter()
+            .map(|&(dx, dy, dz)| {
+                let axes = (dx != 0) as usize + (dy != 0) as usize + (dz != 0) as usize;
+                space.region("sbuf", RankGrid::message_bytes(cfg.s, axes, EXCHANGE_FIELDS))
+            })
+            .collect();
+        let rbuf = dirs
+            .iter()
+            .map(|&(dx, dy, dz)| {
+                let axes = (dx != 0) as usize + (dy != 0) as usize + (dz != 0) as usize;
+                space.region("rbuf", RankGrid::message_bytes(cfg.s, axes, EXCHANGE_FIELDS))
+            })
+            .collect();
+        let fence = space.region("fence", 8);
+        let tmp_elem = space.region("tmp_elem", (ne * 8 * 6) as u64);
+        let tmp_node = space.region("tmp_node", (nn * 8 * 2) as u64);
+        LuleshHandles {
+            elem_slices,
+            node_slices,
+            sig,
+            kin,
+            eos,
+            qgrad,
+            qq,
+            epass,
+            pos,
+            vel,
+            acc,
+            force,
+            mass,
+            scratch,
+            dt,
+            sbuf,
+            rbuf,
+            fence,
+            tmp_elem,
+            tmp_node,
+            n_nodes: nn,
+            n_elems: ne,
+        }
+    }
+
+    /// Footprint of the whole-array qgrad fields restricted to element
+    /// range `[a, b)`.
+    pub fn qgrad_footprint(&self, a: usize, b: usize, fused: bool) -> Vec<HandleSlice> {
+        let ne = self.n_elems as u64;
+        let (a, b) = (a as u64, b as u64);
+        if fused {
+            (0..2)
+                .map(|k| HandleSlice {
+                    handle: self.qgrad[0],
+                    offset: k * ne * 8 + a * 8,
+                    len: (b - a) * 8,
+                })
+                .collect()
+        } else {
+            self.qgrad
+                .iter()
+                .map(|&h| HandleSlice {
+                    handle: h,
+                    offset: a * 8,
+                    len: (b - a) * 8,
+                })
+                .collect()
+        }
+    }
+
+    /// Footprint slabs of `arrays` temp arrays over item range `[a, b)`
+    /// of a region holding `total` items.
+    pub fn tmp_footprint(
+        &self,
+        handle: DataHandle,
+        total: usize,
+        arrays: usize,
+        a: usize,
+        b: usize,
+    ) -> Vec<HandleSlice> {
+        (0..arrays as u64)
+            .map(|k| HandleSlice {
+                handle,
+                offset: k * total as u64 * 8 + a as u64 * 8,
+                len: (b - a) as u64 * 8,
+            })
+            .collect()
+    }
+
+    /// Whole-group footprint of a handle group (lengths from `space`).
+    pub fn group_footprint(space: &HandleSpace, handles: &[DataHandle]) -> Vec<HandleSlice> {
+        handles
+            .iter()
+            .map(|&h| HandleSlice::whole(h, space.info(h).bytes))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_vs_unfused_handle_counts() {
+        let mut cfg = LuleshConfig::single(8, 1, 16);
+        let mut sp_f = HandleSpace::new();
+        let hf = LuleshHandles::build(&mut sp_f, &cfg);
+        cfg.fused_deps = false;
+        let mut sp_u = HandleSpace::new();
+        let hu = LuleshHandles::build(&mut sp_u, &cfg);
+        assert_eq!(hf.pos[0].len(), 1);
+        assert_eq!(hu.pos[0].len(), 3);
+        assert_eq!(hf.eos[0].len(), 1);
+        assert_eq!(hu.eos[0].len(), 4);
+        assert_eq!(hf.force[0].len(), 1);
+        assert_eq!(hu.force[0].len(), 3);
+        assert!(sp_u.len() > sp_f.len());
+        // Total registered bytes are identical: fusion changes naming, not
+        // data (block counts differ slightly from per-region rounding).
+        assert!(sp_u.total_blocks() >= sp_f.total_blocks());
+        assert!(sp_u.total_blocks() <= sp_f.total_blocks() + sp_u.len() as u64);
+    }
+
+    #[test]
+    fn buffers_follow_message_classes() {
+        let cfg = LuleshConfig::single(8, 1, 4);
+        let mut sp = HandleSpace::new();
+        let h = LuleshHandles::build(&mut sp, &cfg);
+        let dirs = RankGrid::directions();
+        for (i, &(dx, dy, dz)) in dirs.iter().enumerate() {
+            let axes = (dx != 0) as usize + (dy != 0) as usize + (dz != 0) as usize;
+            let expect = RankGrid::message_bytes(8, axes, EXCHANGE_FIELDS);
+            assert_eq!(sp.info(h.sbuf[i]).bytes, expect);
+            assert_eq!(sp.info(h.rbuf[i]).bytes, expect);
+        }
+    }
+}

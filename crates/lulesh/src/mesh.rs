@@ -1,0 +1,287 @@
+//! Mesh geometry: indexing, slicing, and the 26-neighbor rank topology.
+//!
+//! The domain is the paper's LULESH mesh: `s³` hexahedral elements and
+//! `(s+1)³` nodes per MPI rank, ranks arranged in a cubic grid. Mesh-wide
+//! loops are sliced into *tasks-per-loop* (TPL) contiguous flat-index
+//! ranges, exactly like `taskloop num_tasks(t)`.
+
+/// Per-rank mesh dimensions.
+#[derive(Clone, Copy, Debug)]
+pub struct Mesh {
+    /// Elements per edge (`-s`).
+    pub s: usize,
+}
+
+impl Mesh {
+    /// A mesh with `s` elements per edge.
+    pub fn new(s: usize) -> Mesh {
+        assert!(s >= 2, "mesh needs at least 2 elements per edge");
+        Mesh { s }
+    }
+
+    /// Nodes per edge.
+    pub fn np(&self) -> usize {
+        self.s + 1
+    }
+
+    /// Total elements.
+    pub fn n_elems(&self) -> usize {
+        self.s * self.s * self.s
+    }
+
+    /// Total nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.np() * self.np() * self.np()
+    }
+
+    /// Flat node index of `(nx, ny, nz)`.
+    #[inline]
+    pub fn node_idx(&self, nx: usize, ny: usize, nz: usize) -> usize {
+        (nz * self.np() + ny) * self.np() + nx
+    }
+
+    /// Flat element index of `(ex, ey, ez)`.
+    #[inline]
+    pub fn elem_idx(&self, ex: usize, ey: usize, ez: usize) -> usize {
+        (ez * self.s + ey) * self.s + ex
+    }
+
+    /// `(x, y, z)` coordinates of a flat node index.
+    #[inline]
+    pub fn node_coords(&self, n: usize) -> (usize, usize, usize) {
+        let np = self.np();
+        (n % np, (n / np) % np, n / (np * np))
+    }
+
+    /// `(x, y, z)` coordinates of a flat element index.
+    #[inline]
+    pub fn elem_coords(&self, e: usize) -> (usize, usize, usize) {
+        let s = self.s;
+        (e % s, (e / s) % s, e / (s * s))
+    }
+}
+
+/// Split `n` items into `k` balanced contiguous ranges.
+pub fn slices(n: usize, k: usize) -> Vec<(usize, usize)> {
+    assert!(k >= 1);
+    let k = k.min(n.max(1));
+    (0..k)
+        .map(|i| (n * i / k, n * (i + 1) / k))
+        .collect()
+}
+
+/// Indices of the slices of `ranges` (from [`slices`]) that intersect
+/// `[lo, hi)`; returns an inclusive index range `(first, last)`.
+pub fn overlapping_slices(ranges: &[(usize, usize)], lo: usize, hi: usize) -> (usize, usize) {
+    debug_assert!(lo < hi);
+    let first = ranges
+        .partition_point(|&(_, end)| end <= lo)
+        .min(ranges.len() - 1);
+    let last = ranges
+        .partition_point(|&(start, _)| start < hi)
+        .saturating_sub(1)
+        .max(first);
+    (first, last)
+}
+
+/// Position of a rank in a cubic `px × px × px` grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankGrid {
+    /// Ranks per edge.
+    pub px: usize,
+}
+
+/// One neighbor relation: direction offsets in `{-1, 0, 1}³` (not all
+/// zero), message class derived from how many axes are non-zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Neighbor {
+    /// The neighbor's rank.
+    pub rank: u32,
+    /// Direction index `0..26` from this rank's perspective.
+    pub dir: usize,
+    /// Number of non-zero axes: 1 = face (O(s²) bytes), 2 = edge (O(s)),
+    /// 3 = corner (O(1)).
+    pub axes: usize,
+}
+
+impl RankGrid {
+    /// A cubic grid of `p` ranks; `p` must be a perfect cube.
+    pub fn cube(p: usize) -> RankGrid {
+        let px = (p as f64).cbrt().round() as usize;
+        assert_eq!(px * px * px, p, "rank count {p} is not a perfect cube");
+        RankGrid { px }
+    }
+
+    /// Total ranks.
+    pub fn n_ranks(&self) -> usize {
+        self.px * self.px * self.px
+    }
+
+    /// Grid coordinates of `rank`.
+    pub fn coords(&self, rank: u32) -> (usize, usize, usize) {
+        let p = self.px;
+        let r = rank as usize;
+        (r % p, (r / p) % p, r / (p * p))
+    }
+
+    /// All 26 direction offsets in a fixed order.
+    pub fn directions() -> Vec<(i32, i32, i32)> {
+        let mut v = Vec::with_capacity(26);
+        for dz in -1i32..=1 {
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dx != 0 || dy != 0 || dz != 0 {
+                        v.push((dx, dy, dz));
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// The direction index of the offset opposite to `dir`.
+    pub fn opposite(dir: usize) -> usize {
+        25 - dir
+    }
+
+    /// Existing neighbors of `rank` (interior ranks have 26; corners 7).
+    pub fn neighbors(&self, rank: u32) -> Vec<Neighbor> {
+        let (x, y, z) = self.coords(rank);
+        let p = self.px as i32;
+        Self::directions()
+            .iter()
+            .enumerate()
+            .filter_map(|(dir, &(dx, dy, dz))| {
+                let nx = x as i32 + dx;
+                let ny = y as i32 + dy;
+                let nz = z as i32 + dz;
+                if (0..p).contains(&nx) && (0..p).contains(&ny) && (0..p).contains(&nz) {
+                    let nrank = ((nz * p + ny) * p + nx) as u32;
+                    Some(Neighbor {
+                        rank: nrank,
+                        dir,
+                        axes: (dx != 0) as usize + (dy != 0) as usize + (dz != 0) as usize,
+                    })
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// Message payload in bytes for a neighbor relation, for a mesh of
+    /// edge `s` with `fields` doubles exchanged per node.
+    pub fn message_bytes(s: usize, axes: usize, fields: usize) -> u64 {
+        let np = (s + 1) as u64;
+        let nodes = match axes {
+            1 => np * np,
+            2 => np,
+            3 => 1,
+            _ => unreachable!("axes in 1..=3"),
+        };
+        nodes * 8 * fields as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_counts() {
+        let m = Mesh::new(4);
+        assert_eq!(m.n_elems(), 64);
+        assert_eq!(m.n_nodes(), 125);
+        assert_eq!(m.node_idx(0, 0, 0), 0);
+        assert_eq!(m.node_idx(4, 4, 4), 124);
+        assert_eq!(m.elem_idx(3, 3, 3), 63);
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let m = Mesh::new(5);
+        for e in 0..m.n_elems() {
+            let (x, y, z) = m.elem_coords(e);
+            assert_eq!(m.elem_idx(x, y, z), e);
+        }
+        for n in (0..m.n_nodes()).step_by(7) {
+            let (x, y, z) = m.node_coords(n);
+            assert_eq!(m.node_idx(x, y, z), n);
+        }
+    }
+
+    #[test]
+    fn slices_are_balanced_and_cover() {
+        let r = slices(100, 7);
+        assert_eq!(r.len(), 7);
+        assert_eq!(r[0].0, 0);
+        assert_eq!(r[6].1, 100);
+        for w in r.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        let sizes: Vec<usize> = r.iter().map(|(a, b)| b - a).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn slices_clamps_k_to_n() {
+        let r = slices(3, 10);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_slices_finds_ranges() {
+        let r = slices(100, 10); // [0,10), [10,20), ...
+        assert_eq!(overlapping_slices(&r, 0, 10), (0, 0));
+        assert_eq!(overlapping_slices(&r, 5, 15), (0, 1));
+        assert_eq!(overlapping_slices(&r, 10, 11), (1, 1));
+        assert_eq!(overlapping_slices(&r, 95, 100), (9, 9));
+        assert_eq!(overlapping_slices(&r, 0, 100), (0, 9));
+    }
+
+    #[test]
+    fn rank_grid_neighbors() {
+        let g = RankGrid::cube(27);
+        // center rank has 26 neighbors
+        let center = 13; // (1,1,1)
+        assert_eq!(g.coords(center), (1, 1, 1));
+        assert_eq!(g.neighbors(center).len(), 26);
+        // corner rank has 7
+        assert_eq!(g.neighbors(0).len(), 7);
+        // face/edge/corner classes among center's neighbors: 6 / 12 / 8
+        let n = g.neighbors(center);
+        assert_eq!(n.iter().filter(|x| x.axes == 1).count(), 6);
+        assert_eq!(n.iter().filter(|x| x.axes == 2).count(), 12);
+        assert_eq!(n.iter().filter(|x| x.axes == 3).count(), 8);
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric_with_opposite_dirs() {
+        let g = RankGrid::cube(8);
+        for r in 0..8u32 {
+            for nb in g.neighbors(r) {
+                let back = g
+                    .neighbors(nb.rank)
+                    .into_iter()
+                    .find(|x| x.rank == r)
+                    .expect("symmetric neighbor");
+                assert_eq!(back.dir, RankGrid::opposite(nb.dir));
+                assert_eq!(back.axes, nb.axes);
+            }
+        }
+    }
+
+    #[test]
+    fn message_sizes_by_class() {
+        assert_eq!(RankGrid::message_bytes(4, 1, 1), 25 * 8);
+        assert_eq!(RankGrid::message_bytes(4, 2, 1), 5 * 8);
+        assert_eq!(RankGrid::message_bytes(4, 3, 1), 8);
+        assert_eq!(RankGrid::message_bytes(4, 1, 3), 25 * 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "perfect cube")]
+    fn non_cube_rank_count_panics() {
+        RankGrid::cube(10);
+    }
+}

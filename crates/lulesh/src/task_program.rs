@@ -1,0 +1,626 @@
+//! The dependent-task LULESH (paper Listing 1).
+//!
+//! Every mesh-wide loop becomes `TPL` tasks over contiguous slices, with
+//! dependences inferred from the slice handles. MPI communications are
+//! tasks in the graph with detached completion, posted as soon as their
+//! frontier predecessors complete. The structure follows the Ferat et al.
+//! port studied by the paper: a `dt` reduction task, seven sliced compute
+//! loops, and a 26-neighbor exchange of frontier nodes.
+
+use crate::config::*;
+use crate::handles::LuleshHandles;
+use crate::mesh::{overlapping_slices, Mesh, RankGrid};
+use crate::state::LuleshState;
+use ptdg_core::access::{AccessMode, Depend};
+use ptdg_core::builder::TaskSubmitter;
+use ptdg_core::handle::{DataHandle, HandleSpace};
+use ptdg_core::task::TaskSpec;
+use ptdg_core::workdesc::{CommOp, HandleSlice, WorkDesc};
+use ptdg_simrt::{Rank, RankProgram};
+
+/// The task-based LULESH program for one job (all ranks share the
+/// structure; each rank builds its own identical-shaped local graph).
+pub struct LuleshTask {
+    /// Run configuration.
+    pub cfg: LuleshConfig,
+    /// Slice handles.
+    pub handles: LuleshHandles,
+    /// The handle space (needed for region sizes; also what the simulator
+    /// must be given).
+    pub space: HandleSpace,
+    /// Real arrays — present when running on the thread executor
+    /// (single-rank only); `None` for cost-model simulation.
+    pub state: Option<LuleshState>,
+}
+
+impl LuleshTask {
+    /// Build the program (no real arrays: simulation use).
+    pub fn new(cfg: LuleshConfig) -> LuleshTask {
+        let mut space = HandleSpace::new();
+        let handles = LuleshHandles::build(&mut space, &cfg);
+        LuleshTask {
+            cfg,
+            handles,
+            space,
+            state: None,
+        }
+    }
+
+    /// Attach real arrays for execution on the thread executor.
+    ///
+    /// Only single-rank configurations can be executed for real (the
+    /// multi-rank exchange exists as graph structure for the simulator).
+    pub fn with_state(cfg: LuleshConfig) -> LuleshTask {
+        assert_eq!(
+            cfg.n_ranks(),
+            1,
+            "real execution supports single-rank runs; multi-rank is simulated"
+        );
+        let state = LuleshState::new(Mesh::new(cfg.s), cfg.tpl.min(cfg.s * cfg.s * cfg.s));
+        let mut t = LuleshTask::new(cfg);
+        t.state = Some(state);
+        t
+    }
+
+    fn mesh(&self) -> Mesh {
+        Mesh::new(self.cfg.s)
+    }
+
+    /// Elem-slice indices whose `sig` a force task over nodes `[a, b)`
+    /// reads: the elements adjacent to those nodes.
+    fn elem_slices_for_nodes(&self, a: usize, b: usize) -> (usize, usize) {
+        let mesh = self.mesh();
+        let np2 = mesh.np() * mesh.np();
+        let s2 = mesh.s * mesh.s;
+        let za = a / np2;
+        let zb = (b - 1) / np2;
+        let lo = za.saturating_sub(1) * s2;
+        let hi = ((zb + 1).min(mesh.s)) * s2;
+        let hi = hi.max(lo + 1).min(mesh.n_elems());
+        overlapping_slices(&self.handles.elem_slices, lo, hi)
+    }
+
+    /// Node-slice indices a kinematics task over elems `[a, b)` reads.
+    fn node_slices_for_elems(&self, a: usize, b: usize) -> (usize, usize) {
+        let mesh = self.mesh();
+        let np2 = mesh.np() * mesh.np();
+        let s2 = mesh.s * mesh.s;
+        let za = a / s2;
+        let zb = (b - 1) / s2;
+        let lo = za * np2;
+        let hi = ((zb + 2) * np2).min(mesh.n_nodes());
+        overlapping_slices(&self.handles.node_slices, lo, hi)
+    }
+
+    /// Node flat range of the frontier toward `dir`.
+    fn frontier_range(&self, dir: usize) -> (usize, usize) {
+        let mesh = self.mesh();
+        let np2 = mesh.np() * mesh.np();
+        let (_, _, dz) = RankGrid::directions()[dir];
+        match dz {
+            -1 => (0, np2),
+            1 => (mesh.s * np2, mesh.n_nodes()),
+            _ => (0, mesh.n_nodes()),
+        }
+    }
+
+    fn deps_group(handles: &[DataHandle], mode: AccessMode) -> Vec<Depend> {
+        handles.iter().map(|&h| Depend::new(h, mode)).collect()
+    }
+}
+
+impl RankProgram for LuleshTask {
+    fn n_iterations(&self) -> u64 {
+        self.cfg.iterations
+    }
+
+    fn build_iteration(&self, rank: Rank, _iter: u64, sub: &mut dyn TaskSubmitter) {
+        use AccessMode::*;
+        let h = &self.handles;
+        let cfg = &self.cfg;
+        let space = &self.space;
+        let fused = cfg.fused_deps;
+        let want = sub.wants_bodies() && self.state.is_some();
+        let multi = cfg.n_ranks() > 1;
+        let gfp = |hs: &[DataHandle]| LuleshHandles::group_footprint(space, hs);
+
+        // 1. dynamic time step: reads every courant slot, reduced globally.
+        {
+            let mut fp = vec![HandleSlice::whole(h.scratch, space.info(h.scratch).bytes)];
+            fp.push(HandleSlice::whole(h.dt, 8));
+            let mut spec = TaskSpec::new("CalcTimeStep")
+                .depend(h.scratch, In)
+                .depend(h.dt, Out)
+                .work(WorkDesc {
+                    flops: h.elem_slices.len() as f64 * 2.0,
+                    footprint: fp,
+                })
+                .firstprivate_bytes(16);
+            if multi {
+                spec = spec.comm(CommOp::Iallreduce { bytes: 8 });
+            }
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_dt());
+            }
+            sub.submit(spec);
+        }
+
+        // 2. stress: σ from the EOS fields of the same slice.
+        for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
+            let mut spec = TaskSpec::new("CalcStressForElems")
+                .depends(Self::deps_group(&h.eos[i], In))
+                .depend(h.sig[i], Out)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_STRESS,
+                    footprint: {
+                        let mut fp = gfp(&h.eos[i]);
+                        fp.push(HandleSlice::whole(h.sig[i], space.info(h.sig[i]).bytes));
+                        fp
+                    },
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_stress(a..b));
+            }
+            sub.submit(spec);
+        }
+
+        // 3. CalcForceForNodes: zero the nodal force slices before the
+        // gather (the group opener the hourglass inoutset members follow).
+        for (i, &(a, b)) in h.node_slices.iter().enumerate() {
+            sub.submit(
+                TaskSpec::new("CalcForceForNodes")
+                    .depends(Self::deps_group(&h.force[i], Out))
+                    .work(WorkDesc {
+                        flops: (b - a) as f64 * F_ZEROF,
+                        footprint: gfp(&h.force[i]),
+                    }),
+            );
+        }
+
+        // 4. force gather: task i computes the forces of node slab i from
+        // the adjacent sig slices. Because its elements also touch nodes
+        // of the neighbouring slabs, the *declared* writes cover slices
+        // i−1..i+1 with `inoutset` — the concurrent-write groups of the
+        // paper's Fig. 4 (the body writes only its own slab, so members
+        // are race-free, as in the real port).
+        let n_ns = h.node_slices.len();
+        for (i, &(a, b)) in h.node_slices.iter().enumerate() {
+            let (e0, e1) = self.elem_slices_for_nodes(a, b);
+            let mut deps: Vec<Depend> = (e0..=e1).map(|j| Depend::read(h.sig[j])).collect();
+            let j0 = i.saturating_sub(1);
+            let j1 = (i + 1).min(n_ns - 1);
+            for j in j0..=j1 {
+                deps.extend(Self::deps_group(&h.force[j], InOutSet));
+            }
+            // the hourglass control reads the nodal coordinates too
+            deps.extend(Self::deps_group(&h.pos[i], In));
+            let mut fp: Vec<HandleSlice> = (e0..=e1)
+                .map(|j| HandleSlice::whole(h.sig[j], space.info(h.sig[j]).bytes))
+                .collect();
+            fp.extend(gfp(&h.force[i]));
+            fp.extend(gfp(&h.pos[i]));
+            fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 4, a.min(h.n_elems - 1), b.min(h.n_elems)));
+            fp.extend(h.tmp_footprint(h.tmp_node, h.n_nodes, 2, a, b));
+            let mut spec = TaskSpec::new("CalcFBHourglassForceForElems")
+                .depends(deps)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_FORCE,
+                    footprint: fp,
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_force(a..b));
+            }
+            sub.submit(spec);
+        }
+
+        // 5. acceleration solve: F/m plus the symmetry boundary
+        // conditions, into the acceleration arrays.
+        for (i, &(a, b)) in h.node_slices.iter().enumerate() {
+            let mut deps = Self::deps_group(&h.force[i], In);
+            deps.push(Depend::read(h.dt));
+            deps.extend(Self::deps_group(&h.acc[i], Out));
+            let mut fp = gfp(&h.force[i]);
+            fp.extend(gfp(&h.acc[i]));
+            fp.push(HandleSlice {
+                handle: h.mass,
+                offset: a as u64 * 8,
+                len: (b - a) as u64 * 8,
+            });
+            sub.submit(
+                TaskSpec::new("CalcAccelerationForNodes")
+                    .depends(deps)
+                    .work(WorkDesc {
+                        flops: (b - a) as f64 * F_ACCSOLVE,
+                        footprint: fp,
+                    }),
+            );
+        }
+
+        // 6. velocity integration (carries the real k_accel body: its
+        // force reads are ordered transitively through the acceleration
+        // slice).
+        for (i, &(a, b)) in h.node_slices.iter().enumerate() {
+            let mut deps = Self::deps_group(&h.acc[i], In);
+            deps.extend(Self::deps_group(&h.vel[i], AccessMode::InOut));
+            let mut fp = gfp(&h.acc[i]);
+            fp.extend(gfp(&h.vel[i]));
+            let mut spec = TaskSpec::new("CalcVelocityForNodes")
+                .depends(deps)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_ACCEL,
+                    footprint: fp,
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_accel(a..b));
+            }
+            sub.submit(spec);
+        }
+
+        // 5. positions.
+        for (i, &(a, b)) in h.node_slices.iter().enumerate() {
+            let mut deps = Self::deps_group(&h.vel[i], In);
+            deps.push(Depend::read(h.dt));
+            deps.extend(Self::deps_group(&h.pos[i], AccessMode::InOut));
+            let mut fp = gfp(&h.vel[i]);
+            fp.extend(gfp(&h.pos[i]));
+            let mut spec = TaskSpec::new("CalcPositionForNodes")
+                .depends(deps)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_POS,
+                    footprint: fp,
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_pos(a..b));
+            }
+            sub.submit(spec);
+        }
+
+        // Optional taskwait fence before the communication sequence.
+        if cfg.taskwait_fenced {
+            let mut deps = vec![Depend::new(h.fence, AccessMode::InOut)];
+            for i in 0..h.node_slices.len() {
+                deps.extend(Self::deps_group(&h.pos[i], AccessMode::InOut));
+                deps.extend(Self::deps_group(&h.vel[i], AccessMode::InOut));
+            }
+            sub.submit(TaskSpec::new("taskwait").depends(deps).work(WorkDesc::compute(0.0)));
+        }
+
+        // Frontier exchange with the 26 neighbors.
+        if multi {
+            for nb in cfg.grid.neighbors(rank) {
+                let bytes = RankGrid::message_bytes(cfg.s, nb.axes, EXCHANGE_FIELDS);
+                let dir = nb.dir;
+                let (fa, fb) = self.frontier_range(dir);
+                let (s0, s1) = overlapping_slices(&h.node_slices, fa, fb);
+                // Receive: the buffer write-dependence orders it after the
+                // previous iteration's unpack (WAR through rbuf).
+                sub.submit(
+                    TaskSpec::new("MPI_Irecv")
+                        .depend(h.rbuf[dir], Out)
+                        .comm(CommOp::Irecv {
+                            peer: nb.rank,
+                            bytes,
+                            tag: RankGrid::opposite(dir) as u32,
+                        }),
+                );
+                // Pack frontier values (positions, velocities and the
+                // boundary forces — the second reader of the force
+                // inoutset groups, where optimization (c) pays off).
+                let mut deps: Vec<Depend> = Vec::new();
+                for i in s0..=s1 {
+                    deps.extend(Self::deps_group(&h.pos[i], In));
+                    deps.extend(Self::deps_group(&h.vel[i], In));
+                    deps.extend(Self::deps_group(&h.force[i], In));
+                }
+                deps.push(Depend::write(h.sbuf[dir]));
+                sub.submit(
+                    TaskSpec::new("Pack")
+                        .depends(deps)
+                        .work(WorkDesc {
+                            flops: bytes as f64 / 8.0 * 2.0,
+                            footprint: vec![HandleSlice::whole(h.sbuf[dir], bytes)],
+                        })
+                        .firstprivate_bytes(48),
+                );
+                sub.submit(
+                    TaskSpec::new("MPI_Isend")
+                        .depend(h.sbuf[dir], In)
+                        .comm(CommOp::Isend {
+                            peer: nb.rank,
+                            bytes,
+                            tag: dir as u32,
+                        }),
+                );
+                // Unpack into the frontier slices.
+                let mut deps = vec![Depend::read(h.rbuf[dir])];
+                for i in s0..=s1 {
+                    deps.extend(Self::deps_group(&h.pos[i], AccessMode::InOut));
+                    deps.extend(Self::deps_group(&h.vel[i], AccessMode::InOut));
+                }
+                sub.submit(
+                    TaskSpec::new("Unpack")
+                        .depends(deps)
+                        .work(WorkDesc {
+                            flops: bytes as f64 / 8.0 * 2.0,
+                            footprint: vec![HandleSlice::whole(h.rbuf[dir], bytes)],
+                        })
+                        .firstprivate_bytes(48),
+                );
+            }
+        }
+
+        if cfg.taskwait_fenced {
+            let mut deps = vec![Depend::new(h.fence, AccessMode::InOut)];
+            for i in 0..h.node_slices.len() {
+                deps.extend(Self::deps_group(&h.pos[i], AccessMode::InOut));
+                deps.extend(Self::deps_group(&h.vel[i], AccessMode::InOut));
+            }
+            sub.submit(TaskSpec::new("taskwait").depends(deps).work(WorkDesc::compute(0.0)));
+        }
+
+        // 6. kinematics: element volumes from the updated positions.
+        for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
+            let (n0, n1) = self.node_slices_for_elems(a, b);
+            let mut deps: Vec<Depend> = Vec::new();
+            for j in n0..=n1 {
+                deps.extend(Self::deps_group(&h.pos[j], In));
+            }
+            deps.extend(Self::deps_group(&h.kin[i], Out));
+            for j in n0..=n1 {
+                deps.extend(Self::deps_group(&h.vel[j], In));
+            }
+            let mut fp: Vec<HandleSlice> = Vec::new();
+            for j in n0..=n1 {
+                fp.extend(gfp(&h.pos[j]));
+                fp.extend(gfp(&h.vel[j]));
+            }
+            fp.extend(gfp(&h.kin[i]));
+            fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 1, a, b));
+            let mut spec = TaskSpec::new("CalcLagrangeElements")
+                .depends(deps)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_KIN,
+                    footprint: fp,
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_kin(a..b));
+            }
+            sub.submit(spec);
+        }
+
+        // 9. monotonic Q gradient: writes the gradient arrays through the
+        // mesh indirection, so the whole arrays are declared `inoutset` —
+        // the m writers of the Fig. 4 pattern.
+        for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
+            let (n0, n1) = self.node_slices_for_elems(a, b);
+            let mut deps: Vec<Depend> = Vec::new();
+            for j in n0..=n1 {
+                deps.extend(Self::deps_group(&h.pos[j], In));
+                deps.extend(Self::deps_group(&h.vel[j], In));
+            }
+            deps.extend(Self::deps_group(&h.kin[i], In));
+            deps.extend(Self::deps_group(&h.qgrad, InOutSet));
+            let mut fp: Vec<HandleSlice> = Vec::new();
+            for j in n0..=n1 {
+                fp.extend(gfp(&h.pos[j]));
+                fp.extend(gfp(&h.vel[j]));
+            }
+            fp.extend(gfp(&h.kin[i]));
+            fp.extend(h.qgrad_footprint(a, b, fused));
+            fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 1, a, b));
+            sub.submit(
+                TaskSpec::new("CalcMonotonicQGradientsForElems")
+                    .depends(deps)
+                    .work(WorkDesc {
+                        flops: (b - a) as f64 * F_QGRAD,
+                        footprint: fp,
+                    }),
+            );
+        }
+
+        // 10. monotonic Q region: reads neighbour gradients through the
+        // same indirection — the n readers of the m·n pattern (without
+        // optimization (c) this costs TPL² edges).
+        for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
+            let mut deps = Self::deps_group(&h.qgrad, In);
+            deps.extend(Self::deps_group(&h.qq[i], Out));
+            let mut fp = h.qgrad_footprint(a.saturating_sub(1), (b + 1).min(h.n_elems), fused);
+            fp.extend(gfp(&h.qq[i]));
+            sub.submit(
+                TaskSpec::new("CalcMonotonicQRegionForElems")
+                    .depends(deps)
+                    .work(WorkDesc {
+                        flops: (b - a) as f64 * F_QREGION,
+                        footprint: fp,
+                    }),
+            );
+        }
+
+        // 11. first energy pass.
+        for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
+            let mut deps = Self::deps_group(&h.kin[i], In);
+            deps.extend(Self::deps_group(&h.qq[i], In));
+            deps.extend(Self::deps_group(&h.epass[i], Out));
+            let mut fp = gfp(&h.kin[i]);
+            fp.extend(gfp(&h.qq[i]));
+            fp.extend(gfp(&h.epass[i]));
+            fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 1, a, b));
+            sub.submit(
+                TaskSpec::new("CalcEnergyForElems")
+                    .depends(deps)
+                    .work(WorkDesc {
+                        flops: (b - a) as f64 * F_EPASS,
+                        footprint: fp,
+                    }),
+            );
+        }
+
+        // 12. EOS (the real material update body).
+        for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
+            let mut deps = Self::deps_group(&h.kin[i], In);
+            deps.extend(Self::deps_group(&h.qq[i], In));
+            deps.extend(Self::deps_group(&h.epass[i], In));
+            deps.extend(Self::deps_group(&h.eos[i], AccessMode::InOut));
+            let mut fp = gfp(&h.kin[i]);
+            fp.extend(gfp(&h.qq[i]));
+            fp.extend(gfp(&h.epass[i]));
+            fp.extend(gfp(&h.eos[i]));
+            fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 2, a, b));
+            let mut spec = TaskSpec::new("EvalEOSForElems").depends(deps).work(WorkDesc {
+                flops: (b - a) as f64 * F_EOS,
+                footprint: fp,
+            });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |_| st.k_eos(a..b));
+            }
+            sub.submit(spec);
+        }
+
+        // 13. UpdateVolumesForElems.
+        for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
+            let mut deps = Self::deps_group(&h.eos[i], In);
+            deps.extend(Self::deps_group(&h.kin[i], AccessMode::InOut));
+            let mut fp = gfp(&h.eos[i]);
+            fp.extend(gfp(&h.kin[i]));
+            sub.submit(
+                TaskSpec::new("UpdateVolumesForElems")
+                    .depends(deps)
+                    .work(WorkDesc {
+                        flops: (b - a) as f64 * F_UPDVOL,
+                        footprint: fp,
+                    }),
+            );
+        }
+
+        // 8. courant: concurrent writes into the scratch vector.
+        for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
+            let mut deps = Self::deps_group(&h.eos[i], In);
+            deps.push(Depend::concurrent_write(h.scratch));
+            let mut fp = gfp(&h.eos[i]);
+            fp.push(HandleSlice {
+                handle: h.scratch,
+                offset: i as u64 * 8,
+                len: 8,
+            });
+            let mut spec = TaskSpec::new("CalcCourantConstraintForElems")
+                .depends(deps)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_COURANT,
+                    footprint: fp,
+                });
+            if want {
+                let st = self.state.clone().unwrap();
+                spec = spec.body(move |ctx| {
+                    let _ = ctx;
+                    st.k_courant(a..b, i)
+                });
+            }
+            sub.submit(spec);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptdg_core::builder::{CountingSubmitter, RecordingSubmitter};
+
+    #[test]
+    fn task_count_matches_config() {
+        let cfg = LuleshConfig::single(8, 2, 16);
+        let prog = LuleshTask::new(cfg.clone());
+        let mut c = CountingSubmitter::default();
+        prog.build_iteration(0, 0, &mut c);
+        assert_eq!(c.tasks as usize, cfg.compute_tasks_per_iteration());
+    }
+
+    #[test]
+    fn multi_rank_adds_comm_tasks() {
+        let cfg = LuleshConfig {
+            grid: RankGrid::cube(8),
+            ..LuleshConfig::single(8, 1, 16)
+        };
+        let prog = LuleshTask::new(cfg.clone());
+        let mut c = RecordingSubmitter::default();
+        // rank 0 is a corner: 7 neighbors × 4 tasks each
+        prog.build_iteration(0, 0, &mut c);
+        let comm_tasks = c
+            .specs
+            .iter()
+            .filter(|s| s.name.starts_with("MPI_") || s.name == "Pack" || s.name == "Unpack")
+            .count();
+        assert_eq!(comm_tasks, 7 * 4);
+        // the dt task became a collective
+        assert!(c.specs[0].comm.is_some());
+        let isends = c.specs.iter().filter(|s| matches!(s.comm, Some(CommOp::Isend { .. }))).count();
+        assert_eq!(isends, 7);
+    }
+
+    #[test]
+    fn taskwait_fence_adds_two_fence_tasks() {
+        let cfg = LuleshConfig {
+            taskwait_fenced: true,
+            grid: RankGrid::cube(8),
+            ..LuleshConfig::single(8, 1, 8)
+        };
+        let prog = LuleshTask::new(cfg);
+        let mut c = RecordingSubmitter::default();
+        prog.build_iteration(0, 0, &mut c);
+        assert_eq!(c.specs.iter().filter(|s| s.name == "taskwait").count(), 2);
+    }
+
+    #[test]
+    fn send_recv_tags_pair_up() {
+        let cfg = LuleshConfig {
+            grid: RankGrid::cube(27),
+            ..LuleshConfig::single(6, 1, 8)
+        };
+        let prog = LuleshTask::new(cfg.clone());
+        // For every (sender, dir) Isend there must be a matching Irecv on
+        // the peer with the same tag and size.
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for rank in 0..27u32 {
+            let mut c = RecordingSubmitter::default();
+            prog.build_iteration(rank, 0, &mut c);
+            for s in &c.specs {
+                match s.comm {
+                    Some(CommOp::Isend { peer, bytes, tag }) => sends.push((rank, peer, tag, bytes)),
+                    Some(CommOp::Irecv { peer, bytes, tag }) => recvs.push((peer, rank, tag, bytes)),
+                    _ => {}
+                }
+            }
+        }
+        sends.sort_unstable();
+        recvs.sort_unstable();
+        assert_eq!(sends, recvs, "every send must have a matching recv");
+        assert!(!sends.is_empty());
+    }
+
+    #[test]
+    fn fused_deps_reduce_depend_items() {
+        let cfg_f = LuleshConfig::single(8, 1, 16);
+        let cfg_u = LuleshConfig {
+            fused_deps: false,
+            ..cfg_f.clone()
+        };
+        let mut cf = CountingSubmitter::default();
+        LuleshTask::new(cfg_f).build_iteration(0, 0, &mut cf);
+        let mut cu = CountingSubmitter::default();
+        LuleshTask::new(cfg_u).build_iteration(0, 0, &mut cu);
+        assert_eq!(cf.tasks, cu.tasks);
+        assert!(
+            cf.depend_items * 2 < cu.depend_items,
+            "(a) must cut depend items: fused {} vs unfused {}",
+            cf.depend_items,
+            cu.depend_items
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Hierarchy geometry and timing parameters.
+
+/// Configuration of the modelled memory hierarchy.
+///
+/// Defaults approximate the paper's Intel Xeon Platinum 8168 (Skylake)
+/// node: 24 cores, 32 KiB L1D + 1 MiB L2 private, 33 MiB shared L3,
+/// ~2.7 GHz, and a node DRAM bandwidth around 100 GB/s.
+///
+/// Capacities are expressed in *blocks* of [`MemConfig::block_bytes`]
+/// (default 512 B), the granularity at which task footprints are tracked.
+#[derive(Clone, Debug)]
+pub struct MemConfig {
+    /// Footprint/caching granularity in bytes.
+    pub block_bytes: u64,
+    /// Private L1 data-cache capacity per core, in bytes.
+    pub l1_bytes: u64,
+    /// Private L2 capacity per core, in bytes.
+    pub l2_bytes: u64,
+    /// Shared L3 capacity, in bytes.
+    pub l3_bytes: u64,
+    /// Core clock frequency in Hz (converts stall cycles to time).
+    pub freq_hz: f64,
+    /// Stall cycles charged per L1 miss served by L2.
+    pub l1_miss_cycles: u64,
+    /// Stall cycles charged per L2 miss served by L3.
+    pub l2_miss_cycles: u64,
+    /// Stall cycles charged per L3 miss served by DRAM (uncontended).
+    pub l3_miss_cycles: u64,
+    /// Peak DRAM bandwidth of the node, bytes per second.
+    pub dram_bw_bytes_per_s: f64,
+    /// Achievable scalar flop rate per core, flops per second.
+    pub flops_per_s: f64,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            block_bytes: 512,
+            l1_bytes: 32 << 10,
+            l2_bytes: 1 << 20,
+            l3_bytes: 33 << 20,
+            freq_hz: 2.7e9,
+            l1_miss_cycles: 12,
+            l2_miss_cycles: 60,
+            // Effective cost of pulling one 512 B footprint block from
+            // DRAM under the irregular, gather-heavy access patterns of
+            // the modelled applications (~330 ns/block ≈ 1.5 GB/s/core) —
+            // calibrated so LULESH-like loops are memory-bound as measured.
+            l3_miss_cycles: 900,
+            // Effective node DRAM bandwidth for such patterns.
+            dram_bw_bytes_per_s: 30e9,
+            flops_per_s: 4.0e9,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Configuration approximating the AMD EPYC 7763 NUMA domain used for
+    /// the distributed experiments (16 cores per MPI process, larger L3).
+    pub fn epyc_numa_domain() -> Self {
+        MemConfig {
+            block_bytes: 512,
+            l1_bytes: 32 << 10,
+            l2_bytes: 512 << 10,
+            l3_bytes: 32 << 20,
+            freq_hz: 2.45e9,
+            l1_miss_cycles: 12,
+            l2_miss_cycles: 65,
+            l3_miss_cycles: 900,
+            dram_bw_bytes_per_s: 20e9, // effective per-NUMA-domain share
+            flops_per_s: 3.5e9,
+        }
+    }
+
+    /// L1 capacity in blocks.
+    pub fn l1_blocks(&self) -> usize {
+        (self.l1_bytes / self.block_bytes) as usize
+    }
+
+    /// L2 capacity in blocks.
+    pub fn l2_blocks(&self) -> usize {
+        (self.l2_bytes / self.block_bytes) as usize
+    }
+
+    /// L3 capacity in blocks.
+    pub fn l3_blocks(&self) -> usize {
+        (self.l3_bytes / self.block_bytes) as usize
+    }
+
+    /// Duration of `cycles` stall cycles, in seconds.
+    pub fn cycles_to_secs(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz
+    }
+
+    /// Number of blocks covering `bytes` (rounded up, at least 1 for a
+    /// non-empty region).
+    pub fn blocks_for_bytes(&self, bytes: u64) -> u32 {
+        if bytes == 0 {
+            0
+        } else {
+            bytes.div_ceil(self.block_bytes).max(1) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_capacities_are_sane() {
+        let c = MemConfig::default();
+        assert_eq!(c.l1_blocks(), 64);
+        assert_eq!(c.l2_blocks(), 2048);
+        assert!(c.l3_blocks() > c.l2_blocks());
+    }
+
+    #[test]
+    fn blocks_for_bytes_rounds_up() {
+        let c = MemConfig::default();
+        assert_eq!(c.blocks_for_bytes(0), 0);
+        assert_eq!(c.blocks_for_bytes(1), 1);
+        assert_eq!(c.blocks_for_bytes(512), 1);
+        assert_eq!(c.blocks_for_bytes(513), 2);
+    }
+
+    #[test]
+    fn cycles_convert_to_time() {
+        let c = MemConfig::default();
+        let s = c.cycles_to_secs(2_700_000_000);
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+}

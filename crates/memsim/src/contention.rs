@@ -1,0 +1,134 @@
+//! Shared-DRAM bandwidth contention.
+//!
+//! The paper observes (§2.3.3, §4.1) that LULESH is DRAM-bandwidth bound:
+//! with *fewer* cores running concurrently (e.g. when the execution is
+//! discovery-bound) each running task's memory accesses get *faster*, which
+//! deflates work time even while total time degrades. We model this with a
+//! bandwidth pool: every running task registers its DRAM demand rate, and
+//! the slowdown factor for memory time is
+//! `max(1, total_demand / peak_bandwidth)`.
+
+/// Tracks aggregate DRAM demand of concurrently running tasks.
+#[derive(Debug)]
+pub struct DramContention {
+    peak_bytes_per_s: f64,
+    demands: Vec<f64>, // slab of active demand rates
+    free: Vec<usize>,
+    total_demand: f64,
+}
+
+/// Handle for one registered demand stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DemandId(usize);
+
+impl DramContention {
+    /// New pool with the node's peak DRAM bandwidth (bytes/s).
+    pub fn new(peak_bytes_per_s: f64) -> Self {
+        assert!(peak_bytes_per_s > 0.0);
+        DramContention {
+            peak_bytes_per_s,
+            demands: Vec::new(),
+            free: Vec::new(),
+            total_demand: 0.0,
+        }
+    }
+
+    /// Register a stream demanding `bytes_per_s` from DRAM; returns a handle
+    /// to deregister with on task completion.
+    pub fn register(&mut self, bytes_per_s: f64) -> DemandId {
+        let d = bytes_per_s.max(0.0);
+        self.total_demand += d;
+        if let Some(idx) = self.free.pop() {
+            self.demands[idx] = d;
+            DemandId(idx)
+        } else {
+            self.demands.push(d);
+            DemandId(self.demands.len() - 1)
+        }
+    }
+
+    /// Deregister a stream (task completed).
+    pub fn unregister(&mut self, id: DemandId) {
+        let d = self.demands[id.0];
+        self.demands[id.0] = 0.0;
+        self.free.push(id.0);
+        self.total_demand -= d;
+        if self.total_demand < 0.0 {
+            // Guard against floating-point drift over millions of events.
+            self.total_demand = self.demands.iter().sum();
+        }
+    }
+
+    /// Current slowdown factor for DRAM-bound time: ≥ 1.
+    pub fn factor(&self) -> f64 {
+        (self.total_demand / self.peak_bytes_per_s).max(1.0)
+    }
+
+    /// Aggregate demand currently registered (bytes/s).
+    pub fn total_demand(&self) -> f64 {
+        self.total_demand.max(0.0)
+    }
+
+    /// Number of active streams.
+    pub fn active_streams(&self) -> usize {
+        self.demands.len() - self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_factor_is_one() {
+        let mut c = DramContention::new(100.0);
+        let id = c.register(50.0);
+        assert_eq!(c.factor(), 1.0);
+        c.unregister(id);
+        assert_eq!(c.factor(), 1.0);
+    }
+
+    #[test]
+    fn oversubscription_inflates() {
+        let mut c = DramContention::new(100.0);
+        let a = c.register(80.0);
+        let b = c.register(80.0);
+        assert!((c.factor() - 1.6).abs() < 1e-12);
+        c.unregister(a);
+        assert_eq!(c.factor(), 1.0);
+        c.unregister(b);
+        assert_eq!(c.active_streams(), 0);
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut c = DramContention::new(10.0);
+        let a = c.register(1.0);
+        c.unregister(a);
+        let b = c.register(2.0);
+        let cix = c.register(3.0);
+        assert_eq!(c.active_streams(), 2);
+        assert!((c.total_demand() - 5.0).abs() < 1e-12);
+        c.unregister(b);
+        c.unregister(cix);
+    }
+
+    #[test]
+    fn drift_is_repaired() {
+        let mut c = DramContention::new(1.0);
+        // Many register/unregister cycles must not accumulate error.
+        for i in 0..100_000 {
+            let id = c.register(0.1 + (i % 7) as f64 * 0.01);
+            c.unregister(id);
+        }
+        assert!(c.total_demand() < 1e-6);
+    }
+
+    #[test]
+    fn negative_demand_clamps() {
+        let mut c = DramContention::new(1.0);
+        let id = c.register(-5.0);
+        assert_eq!(c.total_demand(), 0.0);
+        c.unregister(id);
+    }
+}

@@ -1,0 +1,272 @@
+//! O(1) fully-associative LRU cache over block ids.
+//!
+//! Implemented as a hash map into an intrusive doubly-linked list backed by
+//! a slab `Vec`, so `access`/`insert`/`evict` are all constant-time and the
+//! structure is reusable for every cache level.
+
+use crate::BlockId;
+use std::collections::HashMap;
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    block: BlockId,
+    prev: u32,
+    next: u32,
+}
+
+/// A fixed-capacity LRU set of blocks.
+#[derive(Debug)]
+pub struct LruCache {
+    map: HashMap<BlockId, u32>,
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32, // most recently used
+    tail: u32, // least recently used
+    capacity: usize,
+}
+
+impl LruCache {
+    /// Create a cache holding at most `capacity` blocks.
+    ///
+    /// A zero capacity is allowed and behaves as "always miss".
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 20)),
+            nodes: Vec::with_capacity(capacity.min(1 << 20)),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident blocks.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `block` is resident (does not touch recency).
+    pub fn contains(&self, block: BlockId) -> bool {
+        self.map.contains_key(&block)
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Touch `block`: returns `true` on hit (and refreshes recency); on a
+    /// miss the block is installed, evicting the LRU block if full.
+    pub fn access(&mut self, block: BlockId) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        if let Some(&idx) = self.map.get(&block) {
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return true;
+        }
+        // Miss: evict if needed, then install.
+        let idx = if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert!(victim != NIL);
+            self.unlink(victim);
+            let old = self.nodes[victim as usize].block;
+            self.map.remove(&old);
+            self.nodes[victim as usize].block = block;
+            victim
+        } else if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize].block = block;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                block,
+                prev: NIL,
+                next: NIL,
+            });
+            idx
+        };
+        self.push_front(idx);
+        self.map.insert(block, idx);
+        false
+    }
+
+    /// Remove `block` if resident (models invalidation); returns whether it
+    /// was present.
+    pub fn invalidate(&mut self, block: BlockId) -> bool {
+        if let Some(idx) = self.map.remove(&block) {
+            self.unlink(idx);
+            self.free.push(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drop all contents (e.g. between independent simulation phases).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = LruCache::new(4);
+        assert!(!c.access(1));
+        assert!(c.access(1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.access(1);
+        c.access(2);
+        c.access(1); // refresh 1; now 2 is LRU
+        c.access(3); // evicts 2
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+        assert!(c.contains(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_always_misses() {
+        let mut c = LruCache::new(0);
+        assert!(!c.access(7));
+        assert!(!c.access(7));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = LruCache::new(4);
+        c.access(5);
+        assert!(c.invalidate(5));
+        assert!(!c.invalidate(5));
+        assert!(!c.contains(5));
+        // freed slot is reused
+        assert!(!c.access(6));
+        assert!(c.contains(6));
+    }
+
+    #[test]
+    fn stays_within_capacity_under_stream() {
+        let mut c = LruCache::new(16);
+        for i in 0..10_000u64 {
+            c.access(i % 37);
+            assert!(c.len() <= 16);
+        }
+    }
+
+    #[test]
+    fn working_set_within_capacity_hits_forever() {
+        let mut c = LruCache::new(8);
+        for i in 0..8 {
+            c.access(i);
+        }
+        for round in 0..100 {
+            for i in 0..8 {
+                assert!(c.access(i), "round {round} block {i} should hit");
+            }
+        }
+    }
+
+    #[test]
+    fn working_set_exceeding_capacity_thrashes() {
+        // Cyclic sweep over capacity+1 blocks with LRU = 100% miss.
+        let mut c = LruCache::new(8);
+        let mut misses = 0;
+        for round in 0..10 {
+            for i in 0..9u64 {
+                if !c.access(i) {
+                    misses += 1;
+                }
+            }
+            let _ = round;
+        }
+        assert_eq!(misses, 90);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = LruCache::new(4);
+        c.access(1);
+        c.access(2);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(!c.access(1));
+    }
+
+    #[test]
+    fn matches_naive_model() {
+        // Differential test against a straightforward Vec-based LRU.
+        let mut fast = LruCache::new(6);
+        let mut slow: Vec<BlockId> = Vec::new();
+        let mut x = 12345u64;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = (x >> 33) % 23;
+            let hit_fast = fast.access(b);
+            let hit_slow = if let Some(pos) = slow.iter().position(|&v| v == b) {
+                slow.remove(pos);
+                slow.insert(0, b);
+                true
+            } else {
+                slow.insert(0, b);
+                if slow.len() > 6 {
+                    slow.pop();
+                }
+                false
+            };
+            assert_eq!(hit_fast, hit_slow);
+        }
+    }
+}

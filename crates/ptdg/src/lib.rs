@@ -1,0 +1,28 @@
+//! # ptdg — persistent task dependency graphs for MPI+OpenMP-style programs
+//!
+//! Facade crate of the reproduction of *"Investigating Dependency Graph
+//! Discovery Impact on Task-based MPI+OpenMP Applications Performances"*
+//! (Pereira, Roussel, Carribault, Gautier — ICPP 2023). It re-exports:
+//!
+//! * [`core`] (`ptdg-core`) — the dependent-task runtime: `depend`
+//!   clauses, TDG discovery with the paper's edge optimizations,
+//!   persistent task sub-graphs, throttling, a work-stealing depth-first
+//!   executor and a task-level profiler;
+//! * [`simcore`] / [`memsim`] / [`simmpi`] / [`simrt`] — the simulation
+//!   substrates: discrete-event engine, cache hierarchy, interconnect,
+//!   and the virtual multicore executor that regenerates the paper's
+//!   figures;
+//! * [`lulesh`] / [`hpcg`] / [`cholesky`] — the three applications of the
+//!   paper's evaluation, each with a dependent-task version and its
+//!   `parallel for` reference.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+pub use ptdg_cholesky as cholesky;
+pub use ptdg_core as core;
+pub use ptdg_hpcg as hpcg;
+pub use ptdg_lulesh as lulesh;
+pub use ptdg_memsim as memsim;
+pub use ptdg_simcore as simcore;
+pub use ptdg_simmpi as simmpi;
+pub use ptdg_simrt as simrt;

@@ -1,0 +1,130 @@
+//! # ptdg-simcore — deterministic discrete-event simulation engine
+//!
+//! Minimal, allocation-light discrete-event scheduling used by the virtual
+//! multicore executor (`ptdg-simrt`) and the simulated interconnect
+//! (`ptdg-simmpi`).
+//!
+//! Design goals:
+//!
+//! * **Determinism.** Events are ordered by `(time, sequence)`, where the
+//!   sequence number is assigned at insertion. Two runs with the same inputs
+//!   produce bit-identical schedules, which the test-suite relies on.
+//! * **Fixed-point virtual time.** Time is a `u64` count of nanoseconds
+//!   ([`SimTime`]); no floating-point drift in orderings.
+//! * **Payload-agnostic.** The queue stores an application event enum `E`;
+//!   the engine knows nothing about cores, tasks or messages.
+
+mod queue;
+mod time;
+
+pub use queue::{EventQueue, ScheduledEvent};
+pub use time::SimTime;
+
+/// A deterministic splittable RNG helper for workload generation.
+///
+/// This is a tiny xoshiro256** implementation so substrate crates do not
+/// need a `rand` dependency for reproducible jitter. Applications that need
+/// distributions use the `rand` crate instead.
+#[derive(Clone, Debug)]
+pub struct SplitRng {
+    s: [u64; 4],
+}
+
+impl SplitRng {
+    /// Create an RNG from a 64-bit seed using splitmix64 expansion.
+    pub fn new(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        SplitRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Derive an independent child stream, e.g. one per simulated rank.
+    pub fn split(&mut self, salt: u64) -> SplitRng {
+        SplitRng::new(self.next_u64() ^ salt.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`. `bound` must be non-zero.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Lemire's multiply-shift rejection-free approximation is fine for
+        // simulation jitter; exact uniformity is not required.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = SplitRng::new(42);
+        let mut b = SplitRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn rng_streams_differ_by_seed() {
+        let mut a = SplitRng::new(1);
+        let mut b = SplitRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "seeds should give distinct streams");
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let mut root = SplitRng::new(7);
+        let mut c1 = root.split(1);
+        let mut c2 = root.split(2);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = SplitRng::new(3);
+        for _ in 0..10_000 {
+            assert!(r.next_below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = SplitRng::new(9);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

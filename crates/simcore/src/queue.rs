@@ -1,0 +1,200 @@
+//! The deterministic event queue.
+
+use crate::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled at a point in virtual time.
+///
+/// The `seq` field breaks ties between events at the same instant:
+/// insertion order wins, making the whole simulation deterministic.
+#[derive(Debug)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Insertion sequence number (unique per queue).
+    pub seq: u64,
+    /// The application payload.
+    pub payload: E,
+}
+
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A min-ordered queue of events in virtual time.
+///
+/// ```
+/// use ptdg_simcore::{EventQueue, SimTime};
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.push(SimTime::from_ns(20), "late");
+/// q.push(SimTime::from_ns(10), "early");
+/// q.push(SimTime::from_ns(10), "early-second");
+/// assert_eq!(q.pop().unwrap().payload, "early");
+/// assert_eq!(q.pop().unwrap().payload, "early-second");
+/// assert_eq!(q.pop().unwrap().payload, "late");
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error and panics in debug builds;
+    /// in release builds the event fires "now" instead (the queue never
+    /// travels backwards).
+    pub fn push(&mut self, at: SimTime, payload: E) {
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past: {:?} < {:?}",
+            at,
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time: at,
+            seq,
+            payload,
+        });
+    }
+
+    /// Schedule `payload` after a relative delay from `now()`.
+    pub fn push_after(&mut self, delay: SimTime, payload: E) {
+        self.push(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event and advance the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        let ev = self.heap.pop()?;
+        self.now = ev.time;
+        Some(ev)
+    }
+
+    /// Peek at the earliest event's time without advancing the clock.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(30), 3);
+        q.push(SimTime::from_ns(10), 1);
+        q.push(SimTime::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(SimTime::from_ns(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), ());
+        q.push(SimTime::from_ns(10), ());
+        q.push(SimTime::from_ns(25), ());
+        let mut last = SimTime::ZERO;
+        while let Some(e) = q.pop() {
+            assert!(e.time >= last);
+            assert_eq!(q.now(), e.time);
+            last = e.time;
+        }
+    }
+
+    #[test]
+    fn push_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(100), "a");
+        q.pop();
+        q.push_after(SimTime::from_ns(5), "b");
+        let e = q.pop().unwrap();
+        assert_eq!(e.time.as_ns(), 105);
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_deterministic() {
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut out = Vec::new();
+            q.push(SimTime::from_ns(1), 0u32);
+            while let Some(e) = q.pop() {
+                out.push((e.time.as_ns(), e.payload));
+                if e.payload < 20 {
+                    q.push_after(SimTime::from_ns(3), e.payload + 1);
+                    q.push_after(SimTime::from_ns(3), e.payload + 100);
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}

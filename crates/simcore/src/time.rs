@@ -1,0 +1,150 @@
+//! Fixed-point virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, counted in nanoseconds from simulation start.
+///
+/// `SimTime` is also used to express durations (a point relative to zero);
+/// the arithmetic operators below are saturating-free and will panic on
+/// overflow in debug builds, which a simulation bug would deserve.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable time; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Construct from (possibly fractional) seconds.
+    ///
+    /// Negative inputs clamp to zero: durations in the cost model are
+    /// computed from physical quantities and must not be negative.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> SimTime {
+        if s <= 0.0 {
+            SimTime(0)
+        } else {
+            SimTime((s * 1e9).round() as u64)
+        }
+    }
+
+    /// Nanoseconds since the origin.
+    #[inline]
+    pub const fn as_ns(self) -> u64 {
+        self.0
+    }
+
+    /// Value in seconds (for reporting only; never used for ordering).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Saturating subtraction, useful when computing non-negative spans.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply a duration by an integer factor.
+    #[inline]
+    pub fn scaled(self, k: u64) -> SimTime {
+        SimTime(self.0 * k)
+    }
+
+    /// Multiply a duration by a float factor (rounds to nearest ns).
+    #[inline]
+    pub fn scaled_f64(self, k: f64) -> SimTime {
+        SimTime::from_secs_f64(self.as_secs_f64() * k)
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(SimTime::from_us(3).as_ns(), 3_000);
+        assert_eq!(SimTime::from_ms(2).as_ns(), 2_000_000);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_ns(), 1_500_000_000);
+        assert!((SimTime::from_ns(250).as_secs_f64() - 250e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_seconds_clamp_to_zero() {
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_ns(100);
+        let b = SimTime::from_ns(40);
+        assert_eq!((a + b).as_ns(), 140);
+        assert_eq!((a - b).as_ns(), 60);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(b.scaled(3).as_ns(), 120);
+    }
+
+    #[test]
+    fn ordering_is_by_nanoseconds() {
+        assert!(SimTime::from_ns(1) < SimTime::from_ns(2));
+        assert!(SimTime::MAX > SimTime::from_ms(1));
+    }
+}

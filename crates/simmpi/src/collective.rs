@@ -1,0 +1,92 @@
+//! All-reduce collective state.
+
+use crate::{Rank, ReqId};
+use ptdg_simcore::SimTime;
+
+/// One in-flight all-reduce "round".
+///
+/// Ranks join rounds in program order; round *k* on every rank matches
+/// round *k* on every other (MPI collective matching semantics). The
+/// operation's tree phase starts when the last rank joins.
+#[derive(Clone, Debug)]
+pub struct CollectiveState {
+    /// Per-rank request id once that rank joined.
+    pub joined: Vec<Option<(ReqId, SimTime)>>,
+    /// Payload size (taken from the first joiner; asserted equal).
+    pub bytes: u64,
+    /// Number of ranks that have joined so far.
+    pub n_joined: u32,
+}
+
+impl CollectiveState {
+    /// New round awaiting `n_ranks` participants.
+    pub fn new(n_ranks: u32) -> Self {
+        CollectiveState {
+            joined: vec![None; n_ranks as usize],
+            bytes: 0,
+            n_joined: 0,
+        }
+    }
+
+    /// Record `rank` joining at `now`; returns whether the round is full.
+    pub fn join(&mut self, rank: Rank, req: ReqId, bytes: u64, now: SimTime) -> bool {
+        assert!(
+            self.joined[rank as usize].is_none(),
+            "rank {rank} joined the same collective round twice"
+        );
+        if self.n_joined == 0 {
+            self.bytes = bytes;
+        } else {
+            assert_eq!(self.bytes, bytes, "mismatched collective payload sizes");
+        }
+        self.joined[rank as usize] = Some((req, now));
+        self.n_joined += 1;
+        self.n_joined as usize == self.joined.len()
+    }
+
+    /// Latest join time (the straggler that the whole job waits for).
+    pub fn last_join(&self) -> SimTime {
+        self.joined
+            .iter()
+            .flatten()
+            .map(|&(_, t)| t)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// All request ids in the round.
+    pub fn requests(&self) -> impl Iterator<Item = ReqId> + '_ {
+        self.joined.iter().flatten().map(|&(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_completes_when_all_join() {
+        let mut c = CollectiveState::new(3);
+        assert!(!c.join(0, ReqId(0), 8, SimTime::from_ns(10)));
+        assert!(!c.join(2, ReqId(1), 8, SimTime::from_ns(30)));
+        assert!(c.join(1, ReqId(2), 8, SimTime::from_ns(20)));
+        assert_eq!(c.last_join().as_ns(), 30);
+        assert_eq!(c.requests().count(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "twice")]
+    fn double_join_panics() {
+        let mut c = CollectiveState::new(2);
+        c.join(0, ReqId(0), 8, SimTime::ZERO);
+        c.join(0, ReqId(1), 8, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn size_mismatch_panics() {
+        let mut c = CollectiveState::new(2);
+        c.join(0, ReqId(0), 8, SimTime::ZERO);
+        c.join(1, ReqId(1), 16, SimTime::ZERO);
+    }
+}

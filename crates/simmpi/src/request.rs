@@ -1,0 +1,84 @@
+//! Request objects and per-rank communication metrics.
+
+use crate::Rank;
+use ptdg_simcore::SimTime;
+
+/// Identifier of one communication request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqId(pub u64);
+
+/// What kind of request this is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Point-to-point send.
+    Send,
+    /// Point-to-point receive.
+    Recv,
+    /// All-reduce collective.
+    Allreduce,
+}
+
+/// One tracked request.
+#[derive(Clone, Copy, Debug)]
+pub struct Request {
+    /// Its id.
+    pub id: ReqId,
+    /// Owning rank.
+    pub rank: Rank,
+    /// Kind.
+    pub kind: ReqKind,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// When it was posted.
+    pub posted_at: SimTime,
+    /// When it completed (`None` while in flight).
+    pub completed_at: Option<SimTime>,
+}
+
+impl Request {
+    /// Communication time `c(r)` — defined for completed requests.
+    pub fn comm_time(&self) -> Option<SimTime> {
+        self.completed_at.map(|t| t.saturating_sub(self.posted_at))
+    }
+
+    /// Whether this request counts toward the paper's communication-time
+    /// metric (send and collective requests only, §4.1).
+    pub fn is_tracked(&self) -> bool {
+        matches!(self.kind, ReqKind::Send | ReqKind::Allreduce)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comm_time_is_post_to_completion() {
+        let mut r = Request {
+            id: ReqId(0),
+            rank: 0,
+            kind: ReqKind::Send,
+            bytes: 10,
+            posted_at: SimTime::from_ns(100),
+            completed_at: None,
+        };
+        assert_eq!(r.comm_time(), None);
+        r.completed_at = Some(SimTime::from_ns(250));
+        assert_eq!(r.comm_time().unwrap().as_ns(), 150);
+    }
+
+    #[test]
+    fn tracking_follows_the_paper() {
+        let mk = |kind| Request {
+            id: ReqId(0),
+            rank: 0,
+            kind,
+            bytes: 0,
+            posted_at: SimTime::ZERO,
+            completed_at: None,
+        };
+        assert!(mk(ReqKind::Send).is_tracked());
+        assert!(mk(ReqKind::Allreduce).is_tracked());
+        assert!(!mk(ReqKind::Recv).is_tracked());
+    }
+}

@@ -1,0 +1,256 @@
+//! The fork-join (`parallel for`) reference executor.
+//!
+//! Models the original LLNL-style MPI+OpenMP structure: every mesh-wide
+//! loop is statically chunked over the cores and ends in a barrier; MPI
+//! communication happens between parallel regions with the whole team
+//! waiting. There is no discovery, no dependence management — and no
+//! communication overlap, exactly as the paper describes (§2.1, §4.1).
+
+use crate::machine::MachineConfig;
+use crate::program::{BspPhase, BspProgram};
+use crate::report::{RankReport, SimReport};
+use crate::sim::SimConfig;
+use ptdg_core::handle::HandleSpace;
+use ptdg_core::workdesc::HandleSlice;
+use ptdg_memsim::{BlockRange, DramContention, MemoryHierarchy};
+use ptdg_simcore::{EventQueue, SimTime, SplitRng};
+use ptdg_simmpi::{Network, ReqId};
+use std::collections::HashMap;
+
+enum Ev {
+    Step(u32),
+    ReqDone(ReqId),
+}
+
+struct BspRank {
+    iter: u64,
+    phase_idx: usize,
+    phases: Vec<BspPhase>,
+    waiting: u32,
+    wait_start: SimTime,
+    hier: MemoryHierarchy,
+    contention: DramContention,
+    work_ns: u64,
+    overhead_ns: u64,
+    idle_ns: u64,
+    stalls: ptdg_memsim::StallCycles,
+    last_event: SimTime,
+    done: bool,
+    rng: SplitRng,
+    jitter: f64,
+}
+
+/// Simulate the `parallel for` version of a program.
+///
+/// Only `cfg.n_ranks` and `cfg.net` are read from the configuration — the
+/// task-side switches have no fork-join meaning.
+pub fn simulate_bsp(
+    machine: &MachineConfig,
+    cfg: &SimConfig,
+    space: &HandleSpace,
+    program: &dyn BspProgram,
+) -> SimReport {
+    assert_eq!(machine.mem.block_bytes, space.block_bytes());
+    let n_cores = machine.n_cores;
+    let mut ranks: Vec<BspRank> = (0..cfg.n_ranks)
+        .map(|r| BspRank {
+            iter: 0,
+            phase_idx: 0,
+            phases: program.phases(r, 0),
+            waiting: 0,
+            wait_start: SimTime::ZERO,
+            hier: MemoryHierarchy::new(machine.mem.clone(), n_cores),
+            contention: DramContention::new(machine.mem.dram_bw_bytes_per_s),
+            work_ns: 0,
+            overhead_ns: 0,
+            idle_ns: 0,
+            stalls: Default::default(),
+            last_event: SimTime::ZERO,
+            done: false,
+            rng: SplitRng::new(cfg.seed.wrapping_add(r as u64 * 0x9E37_79B9)),
+            jitter: cfg.work_jitter,
+        })
+        .collect();
+    let mut net = Network::new(cfg.net.clone(), cfg.n_ranks);
+    let mut evq: EventQueue<Ev> = EventQueue::new();
+    let mut req_owner: HashMap<ReqId, u32> = HashMap::new();
+    for r in 0..cfg.n_ranks {
+        evq.push(SimTime::ZERO, Ev::Step(r));
+    }
+
+    while let Some(ev) = evq.pop() {
+        let now = ev.time;
+        match ev.payload {
+            Ev::Step(r) => {
+                let st = &mut ranks[r as usize];
+                st.last_event = st.last_event.max(now);
+                if st.phase_idx >= st.phases.len() {
+                    st.iter += 1;
+                    if st.iter >= program.n_iterations() {
+                        st.done = true;
+                        continue;
+                    }
+                    st.phases = program.phases(r, st.iter);
+                    st.phase_idx = 0;
+                }
+                let phase = st.phases[st.phase_idx].clone();
+                st.phase_idx += 1;
+                match phase {
+                    BspPhase::Loop { flops, footprint, .. } => {
+                        let t_done = run_loop(machine, space, st, flops, &footprint, now);
+                        st.last_event = st.last_event.max(t_done);
+                        evq.push(t_done, Ev::Step(r));
+                    }
+                    BspPhase::Exchange { sends, recvs } => {
+                        let mut own = 0u32;
+                        let mut t = now;
+                        for (peer, bytes, tag) in recvs {
+                            let (req, comps) = net.post_irecv(t, peer, r, tag, bytes);
+                            req_owner.insert(req, r);
+                            own += 1;
+                            t += cfg.net.post_cost;
+                            for c in comps {
+                                evq.push(c.at, Ev::ReqDone(c.req));
+                            }
+                        }
+                        for (peer, bytes, tag) in sends {
+                            let (req, comps) = net.post_isend(t, r, peer, tag, bytes);
+                            req_owner.insert(req, r);
+                            own += 1;
+                            t += cfg.net.post_cost;
+                            for c in comps {
+                                evq.push(c.at, Ev::ReqDone(c.req));
+                            }
+                        }
+                        if own == 0 {
+                            evq.push(t, Ev::Step(r));
+                        } else {
+                            st.waiting = own;
+                            st.wait_start = now;
+                        }
+                    }
+                    BspPhase::Allreduce { bytes } => {
+                        let (req, comps) = net.post_iallreduce(now, r, bytes);
+                        req_owner.insert(req, r);
+                        st.waiting = 1;
+                        st.wait_start = now;
+                        for c in comps {
+                            evq.push(c.at, Ev::ReqDone(c.req));
+                        }
+                    }
+                }
+            }
+            Ev::ReqDone(req) => {
+                let r = req_owner[&req];
+                let st = &mut ranks[r as usize];
+                st.last_event = st.last_event.max(now);
+                debug_assert!(st.waiting > 0);
+                st.waiting -= 1;
+                if st.waiting == 0 {
+                    // The whole team idled through the communication wait.
+                    st.idle_ns +=
+                        now.as_ns().saturating_sub(st.wait_start.as_ns()) * n_cores as u64;
+                    evq.push(now, Ev::Step(r));
+                }
+            }
+        }
+    }
+
+    let mut report = SimReport::default();
+    for (r, st) in ranks.iter().enumerate() {
+        assert!(st.done, "rank {r} did not finish (waiting={})", st.waiting);
+        report.ranks.push(RankReport {
+            n_cores,
+            work_ns: st.work_ns,
+            overhead_ns: st.overhead_ns,
+            idle_ns: st.idle_ns,
+            span_ns: st.last_event.as_ns(),
+            cache: st.hier.totals(),
+            stalls: st.stalls,
+            comm_ns: net.tracked_comm_time(r as u32).as_ns(),
+            comm_coll_ns: net.tracked_comm_split(r as u32).0.as_ns(),
+            comm_p2p_ns: net.tracked_comm_split(r as u32).1.as_ns(),
+            // No work can overlap: communication happens outside parallel
+            // regions with the team at a barrier.
+            overlapped_ns: 0,
+            ..Default::default()
+        });
+    }
+    assert!(net.all_complete(), "unmatched BSP communication");
+    report
+}
+
+/// Execute one statically-chunked parallel loop; returns its end time.
+fn run_loop(
+    machine: &MachineConfig,
+    space: &HandleSpace,
+    st: &mut BspRank,
+    flops: f64,
+    footprint: &[HandleSlice],
+    now: SimTime,
+) -> SimTime {
+    let n = machine.n_cores;
+    let mem = &machine.mem;
+    let bb = space.block_bytes();
+    // Per-core chunks: core k touches the k-th fraction of every slice —
+    // static scheduling, so consecutive loops revisit the same ranges.
+    let mut durations = vec![0f64; n];
+    let mut demands = Vec::with_capacity(n);
+    for (k, dur) in durations.iter_mut().enumerate() {
+        let mut blocks: Vec<BlockRange> = Vec::with_capacity(footprint.len());
+        for s in footprint {
+            if s.len == 0 {
+                continue;
+            }
+            let lo = s.offset + s.len * k as u64 / n as u64;
+            let hi = s.offset + s.len * (k as u64 + 1) / n as u64;
+            if hi <= lo {
+                continue;
+            }
+            let info = space.info(s.handle);
+            let first = info.base_block + lo / bb;
+            let last = info.base_block + (hi - 1) / bb;
+            blocks.push(BlockRange::new(first, (last - first + 1) as u32));
+        }
+        let stats = st.hier.touch_footprint(k, &blocks);
+        let stall = stats.stall_cycles(mem);
+        st.stalls.l1 += stall.l1;
+        st.stalls.l2 += stall.l2;
+        st.stalls.l3 += stall.l3;
+        let compute_s = flops / n as f64 / mem.flops_per_s;
+        let fast_s = mem.cycles_to_secs(stall.l1 + stall.l2);
+        let dram_s = mem.cycles_to_secs(stall.l3);
+        let nominal = (compute_s + fast_s + dram_s).max(1e-12);
+        demands.push((
+            st.contention.register(stats.dram_bytes(mem) as f64 / nominal),
+            compute_s + fast_s,
+            dram_s,
+        ));
+        *dur = 0.0; // filled below once the factor is known
+        let _ = dur;
+    }
+    // All chunks run concurrently: one common contention factor.
+    let factor = st.contention.factor();
+    for (k, (id, fast, dram)) in demands.into_iter().enumerate() {
+        let mut d = fast + dram * factor;
+        if st.jitter > 0.0 {
+            d *= 1.0 + st.jitter * (2.0 * st.rng.next_f64() - 1.0);
+        }
+        durations[k] = d;
+        st.contention.unregister(id);
+    }
+    let max_s = durations.iter().cloned().fold(0.0, f64::max);
+    let work_ns: u64 = durations
+        .iter()
+        .map(|d| SimTime::from_secs_f64(*d).as_ns())
+        .sum();
+    let idle_ns: u64 = durations
+        .iter()
+        .map(|d| SimTime::from_secs_f64(max_s - *d).as_ns())
+        .sum();
+    st.work_ns += work_ns;
+    st.idle_ns += idle_ns;
+    let fj = &machine.forkjoin;
+    st.overhead_ns += (fj.per_loop_fork + fj.per_loop_barrier).as_ns() * n as u64;
+    now + fj.per_loop_fork + SimTime::from_secs_f64(max_s) + fj.per_loop_barrier
+}

@@ -1,0 +1,64 @@
+//! # ptdg-simrt — the virtual multicore executor
+//!
+//! Executes task programs (and their `parallel for` reference versions) on
+//! simulated compute nodes in deterministic virtual time, reusing the
+//! discovery engine of `ptdg-core` with a calibrated cost model. This is
+//! the measurement substrate behind every figure and table of the
+//! reproduction (see `DESIGN.md` §5 and `EXPERIMENTS.md`):
+//!
+//! * [`simulate_tasks`] — dependent-task execution: paced single-producer
+//!   TDG discovery (streaming, persistent, throttled, or non-overlapped),
+//!   depth-first/breadth-first scheduling, cache-model work times, DRAM
+//!   contention, simulated MPI;
+//! * [`simulate_bsp`] — the fork-join `parallel for` reference: statically
+//!   chunked loops, loop barriers, blocking communication phases;
+//! * [`SimReport`] — per-rank work/overhead/idle breakdown, discovery
+//!   spans, cache and stall counters, communication time and overlap
+//!   ratio, optional Gantt trace.
+//!
+//! ```
+//! use ptdg_core::builder::TaskSubmitter;
+//! use ptdg_core::{AccessMode, HandleSpace, TaskSpec, WorkDesc};
+//! use ptdg_simrt::{simulate_tasks, MachineConfig, Rank, RankProgram, SimConfig};
+//!
+//! struct Chain(ptdg_core::DataHandle);
+//! impl RankProgram for Chain {
+//!     fn n_iterations(&self) -> u64 { 2 }
+//!     fn build_iteration(&self, _r: Rank, _i: u64, sub: &mut dyn TaskSubmitter) {
+//!         for _ in 0..10 {
+//!             sub.submit(
+//!                 TaskSpec::new("link")
+//!                     .depend(self.0, AccessMode::InOut)
+//!                     .work(WorkDesc::compute(1e6)),
+//!             );
+//!         }
+//!     }
+//! }
+//!
+//! let mut space = HandleSpace::new();
+//! let prog = Chain(space.region("x", 64));
+//! let report = simulate_tasks(
+//!     &MachineConfig::tiny(4),
+//!     &SimConfig::default(),
+//!     &space,
+//!     &prog,
+//! );
+//! assert_eq!(report.rank(0).tasks_executed, 20);
+//! assert!(report.total_time_s() > 0.0);
+//! ```
+
+mod bsp;
+mod costs;
+mod machine;
+mod program;
+mod report;
+mod sim;
+#[cfg(test)]
+mod tests;
+
+pub use bsp::simulate_bsp;
+pub use costs::{DiscoveryCosts, ForkJoinCosts, SchedCosts};
+pub use machine::MachineConfig;
+pub use program::{BspPhase, BspProgram, Rank, RankProgram};
+pub use report::{RankReport, SimReport};
+pub use sim::{simulate_tasks, SimConfig};

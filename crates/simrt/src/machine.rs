@@ -1,0 +1,68 @@
+//! Virtual node configuration.
+
+use crate::costs::{DiscoveryCosts, ForkJoinCosts, SchedCosts};
+use ptdg_memsim::MemConfig;
+
+/// One simulated compute node (or NUMA domain bound to one MPI process).
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Cores per rank (OpenMP threads, bound 1:1).
+    pub n_cores: usize,
+    /// Memory hierarchy.
+    pub mem: MemConfig,
+    /// Discovery cost model.
+    pub discovery: DiscoveryCosts,
+    /// Scheduling cost model.
+    pub sched: SchedCosts,
+    /// Fork-join cost model (`parallel for` reference version).
+    pub forkjoin: ForkJoinCosts,
+}
+
+impl MachineConfig {
+    /// The paper's intra-node platform: 24 Skylake cores sharing a NUMA
+    /// domain (Intel Xeon Platinum 8168, §2).
+    pub fn skylake_24() -> Self {
+        MachineConfig {
+            n_cores: 24,
+            mem: MemConfig::default(),
+            discovery: DiscoveryCosts::default(),
+            sched: SchedCosts::default(),
+            forkjoin: ForkJoinCosts::default(),
+        }
+    }
+
+    /// The paper's distributed platform: one MPI process per 16-core AMD
+    /// EPYC 7763 NUMA domain (§4).
+    pub fn epyc_16() -> Self {
+        MachineConfig {
+            n_cores: 16,
+            mem: MemConfig::epyc_numa_domain(),
+            discovery: DiscoveryCosts::default(),
+            sched: SchedCosts::default(),
+            forkjoin: ForkJoinCosts::default(),
+        }
+    }
+
+    /// A small machine for fast unit tests.
+    pub fn tiny(n_cores: usize) -> Self {
+        MachineConfig {
+            n_cores,
+            mem: MemConfig::default(),
+            discovery: DiscoveryCosts::default(),
+            sched: SchedCosts::default(),
+            forkjoin: ForkJoinCosts::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_platforms() {
+        assert_eq!(MachineConfig::skylake_24().n_cores, 24);
+        assert_eq!(MachineConfig::epyc_16().n_cores, 16);
+        assert!(MachineConfig::epyc_16().mem.l2_bytes < MachineConfig::skylake_24().mem.l2_bytes);
+    }
+}

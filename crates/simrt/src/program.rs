@@ -1,0 +1,57 @@
+//! Program abstractions consumed by the virtual executors.
+
+use ptdg_core::builder::TaskSubmitter;
+use ptdg_core::workdesc::HandleSlice;
+
+/// Rank index.
+pub type Rank = u32;
+
+/// A task-based application: one sequential task stream per rank per
+/// iteration (the analogue of the OpenMP `single` region of Listing 1).
+///
+/// Implementations must generate the same task stream for a given
+/// `(rank, iter)` every time they are asked (the simulator may replay), and
+/// the same *dependency scheme* across iterations when run persistently.
+pub trait RankProgram {
+    /// Iterations to run.
+    fn n_iterations(&self) -> u64;
+    /// Generate the tasks of `iter` on `rank`.
+    fn build_iteration(&self, rank: Rank, iter: u64, sub: &mut dyn TaskSubmitter);
+}
+
+/// One phase of a fork-join (`parallel for`) program.
+#[derive(Clone, Debug)]
+pub enum BspPhase {
+    /// A mesh-wide parallel loop, statically chunked over cores.
+    Loop {
+        /// Loop name (profiling).
+        name: &'static str,
+        /// Total flops of the loop.
+        flops: f64,
+        /// Total footprint; each core touches its 1/n_cores contiguous
+        /// chunk of every slice (static scheduling).
+        footprint: Vec<HandleSlice>,
+    },
+    /// Post all non-blocking P2P requests, then wait for all of them
+    /// (the paper's "communications outside OpenMP constructs").
+    Exchange {
+        /// `(peer, bytes, tag)` per send.
+        sends: Vec<(Rank, u64, u32)>,
+        /// `(peer, bytes, tag)` per receive.
+        recvs: Vec<(Rank, u64, u32)>,
+    },
+    /// A blocking all-reduce.
+    Allreduce {
+        /// Payload bytes.
+        bytes: u64,
+    },
+}
+
+/// A fork-join application: the reference `parallel for` versions.
+pub trait BspProgram {
+    /// Iterations to run.
+    fn n_iterations(&self) -> u64;
+    /// The phases of `iter` on `rank`, executed in order with an implicit
+    /// barrier after each.
+    fn phases(&self, rank: Rank, iter: u64) -> Vec<BspPhase>;
+}

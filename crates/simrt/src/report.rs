@@ -1,0 +1,196 @@
+//! Simulation results.
+
+use ptdg_core::graph::DiscoveryStats;
+use ptdg_core::profile::Trace;
+use ptdg_memsim::{AccessStats, StallCycles};
+
+/// Per-rank measurements of one simulated run.
+#[derive(Clone, Debug, Default)]
+pub struct RankReport {
+    /// Cores on this rank.
+    pub n_cores: usize,
+    /// Cumulated time inside task bodies (all cores), ns.
+    pub work_ns: u64,
+    /// Cumulated scheduling/discovery overhead, ns.
+    pub overhead_ns: u64,
+    /// Cumulated idle time, ns.
+    pub idle_ns: u64,
+    /// Rank wall-clock span, ns.
+    pub span_ns: u64,
+    /// Producer discovery span over all iterations, ns.
+    pub discovery_ns: u64,
+    /// Discovery span of the first iteration only, ns.
+    pub discovery_first_iter_ns: u64,
+    /// Discovery statistics (tasks, edges, probes...).
+    pub disc: DiscoveryStats,
+    /// Cache counters over the whole run.
+    pub cache: AccessStats,
+    /// Stall cycles per level.
+    pub stalls: StallCycles,
+    /// Tasks executed (including re-instanced persistent tasks).
+    pub tasks_executed: u64,
+    /// Edges *existing* over the run: streamed edges, or template edges ×
+    /// iterations for persistent runs (the paper's Table 2 accounting).
+    pub edges_existing: u64,
+    /// Communication time `C` (tracked requests: sends + collectives), ns.
+    pub comm_ns: u64,
+    /// Collective part of `C`, ns.
+    pub comm_coll_ns: u64,
+    /// P2P-send part of `C`, ns.
+    pub comm_p2p_ns: u64,
+    /// Overlapped work `W`, ns (work executed while a tracked request was
+    /// open).
+    pub overlapped_ns: u64,
+}
+
+impl RankReport {
+    /// The paper's overlap ratio `W / (n_threads × C)` in `[0, 1]`.
+    pub fn overlap_ratio(&self) -> f64 {
+        let denom = self.n_cores as f64 * self.comm_ns as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            (self.overlapped_ns as f64 / denom).min(1.0)
+        }
+    }
+
+    /// Wall-clock span in seconds.
+    pub fn span_s(&self) -> f64 {
+        self.span_ns as f64 * 1e-9
+    }
+
+    /// Discovery span in seconds.
+    pub fn discovery_s(&self) -> f64 {
+        self.discovery_ns as f64 * 1e-9
+    }
+
+    /// Average work per core, seconds (paper's time-breakdown stacks).
+    pub fn avg_work_s(&self) -> f64 {
+        self.work_ns as f64 * 1e-9 / self.n_cores.max(1) as f64
+    }
+
+    /// Average overhead per core, seconds.
+    pub fn avg_overhead_s(&self) -> f64 {
+        self.overhead_ns as f64 * 1e-9 / self.n_cores.max(1) as f64
+    }
+
+    /// Average idle per core, seconds.
+    pub fn avg_idle_s(&self) -> f64 {
+        self.idle_ns as f64 * 1e-9 / self.n_cores.max(1) as f64
+    }
+
+    /// Mean task grain (work per executed task), seconds.
+    pub fn mean_grain_s(&self) -> f64 {
+        if self.tasks_executed == 0 {
+            0.0
+        } else {
+            self.work_ns as f64 * 1e-9 / self.tasks_executed as f64
+        }
+    }
+
+    /// Mean per-task overhead, seconds.
+    pub fn mean_overhead_s(&self) -> f64 {
+        if self.tasks_executed == 0 {
+            0.0
+        } else {
+            self.overhead_ns as f64 * 1e-9 / self.tasks_executed as f64
+        }
+    }
+
+    /// Communication time in seconds.
+    pub fn comm_s(&self) -> f64 {
+        self.comm_ns as f64 * 1e-9
+    }
+}
+
+/// Whole-job results.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// One report per rank.
+    pub ranks: Vec<RankReport>,
+    /// Recorded trace of the requested rank, if any.
+    pub trace: Option<Trace>,
+}
+
+impl SimReport {
+    /// Job wall-clock: the slowest rank's span, seconds.
+    pub fn total_time_s(&self) -> f64 {
+        self.ranks
+            .iter()
+            .map(|r| r.span_s())
+            .fold(0.0, f64::max)
+    }
+
+    /// One rank's report.
+    pub fn rank(&self, r: u32) -> &RankReport {
+        &self.ranks[r as usize]
+    }
+
+    /// Mean over ranks of a per-rank quantity.
+    pub fn mean_over_ranks<F: Fn(&RankReport) -> f64>(&self, f: F) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(f).sum::<f64>() / self.ranks.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_ratio_definition() {
+        let r = RankReport {
+            n_cores: 16,
+            comm_ns: 1_000,
+            overlapped_ns: 8_000,
+            ..Default::default()
+        };
+        assert!((r.overlap_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_ratio_clamps_and_handles_zero() {
+        let mut r = RankReport {
+            n_cores: 1,
+            comm_ns: 10,
+            overlapped_ns: 100,
+            ..Default::default()
+        };
+        assert_eq!(r.overlap_ratio(), 1.0);
+        r.comm_ns = 0;
+        assert_eq!(r.overlap_ratio(), 0.0);
+    }
+
+    #[test]
+    fn total_time_is_slowest_rank() {
+        let report = SimReport {
+            ranks: vec![
+                RankReport {
+                    span_ns: 5_000_000_000,
+                    ..Default::default()
+                },
+                RankReport {
+                    span_ns: 7_000_000_000,
+                    ..Default::default()
+                },
+            ],
+            trace: None,
+        };
+        assert!((report.total_time_s() - 7.0).abs() < 1e-9);
+        assert_eq!(report.rank(1).span_ns, 7_000_000_000);
+    }
+
+    #[test]
+    fn grain_and_overhead_means() {
+        let r = RankReport {
+            work_ns: 4_000,
+            overhead_ns: 400,
+            tasks_executed: 4,
+            ..Default::default()
+        };
+        assert!((r.mean_grain_s() - 1e-6).abs() < 1e-18);
+        assert!((r.mean_overhead_s() - 1e-7).abs() < 1e-18);
+    }
+}

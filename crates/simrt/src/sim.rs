@@ -1,0 +1,953 @@
+//! The virtual-time task executor.
+//!
+//! One discrete-event simulation drives `n_ranks` virtual nodes, each with
+//! `n_cores` cores. Core 0 of every rank doubles as the **producer**: it
+//! discovers the TDG sequentially at the modeled cost (per task, per depend
+//! item, per edge, per duplicate probe — or per re-instanced task in
+//! persistent mode) and joins the worker pool when discovery is done, or
+//! temporarily when throttling bounds are exceeded. Workers execute ready
+//! tasks with the depth-first (local LIFO + steal) or breadth-first policy,
+//! their work time coming from the `ptdg-memsim` cache model under shared
+//! DRAM contention; communication tasks post into the `ptdg-simmpi` network
+//! with detached-completion semantics.
+
+use crate::machine::MachineConfig;
+use crate::program::RankProgram;
+use crate::report::{RankReport, SimReport};
+use ptdg_core::builder::RecordingSubmitter;
+use ptdg_core::exec::SchedPolicy;
+use ptdg_core::graph::{DiscoveryEngine, DiscoveryStats, GraphSink};
+use ptdg_core::handle::HandleSpace;
+use ptdg_core::opts::OptConfig;
+use ptdg_core::profile::{Span, SpanKind, Trace};
+use ptdg_core::task::{TaskId, TaskSpec};
+use ptdg_core::throttle::ThrottleConfig;
+use ptdg_core::workdesc::CommOp;
+use ptdg_memsim::{BlockRange, DramContention, MemoryHierarchy};
+use ptdg_simcore::{EventQueue, SimTime, SplitRng};
+use ptdg_simmpi::{Network, ReqId};
+use std::collections::{HashMap, VecDeque};
+
+/// How many template tasks one persistent re-instance event processes.
+const REINSTANCE_BATCH: u32 = 16;
+/// Producer retry period while throttled with nothing to help with.
+const THROTTLE_RETRY: SimTime = SimTime(5_000);
+
+/// Simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Number of MPI ranks.
+    pub n_ranks: u32,
+    /// Runtime discovery optimizations (b)/(c).
+    pub opts: OptConfig,
+    /// Scheduling policy.
+    pub policy: SchedPolicy,
+    /// Optimization (p): persistent task sub-graph across iterations.
+    pub persistent: bool,
+    /// Paper Table 1 "non overlapped": discover everything first.
+    pub non_overlapped: bool,
+    /// Producer throttling.
+    pub throttle: ThrottleConfig,
+    /// Interconnect parameters.
+    pub net: ptdg_simmpi::NetConfig,
+    /// Record a full span trace on this rank (Gantt export).
+    pub record_trace_rank: Option<u32>,
+    /// Relative amplitude of deterministic per-task work-time jitter
+    /// (models system noise and data-dependent imbalance; the source of
+    /// collective skew in distributed runs). 0.0 = none.
+    pub work_jitter: f64,
+    /// Seed of the jitter streams.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_ranks: 1,
+            opts: OptConfig::all(),
+            policy: SchedPolicy::DepthFirst,
+            persistent: false,
+            non_overlapped: false,
+            throttle: ThrottleConfig::unbounded(),
+            net: ptdg_simmpi::NetConfig::default(),
+            record_trace_rank: None,
+            work_jitter: 0.0,
+            seed: 0x5EED,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Producer does its next unit of discovery work.
+    Producer(u32),
+    /// A core is free and looks for a task.
+    CoreFree { rank: u32, core: u32 },
+    /// A compute task finishes.
+    TaskDone {
+        rank: u32,
+        core: u32,
+        node: u32,
+        work_ns: u64,
+        demand: Option<ptdg_memsim::DemandId>,
+    },
+    /// A communication request completes.
+    ReqDone(ReqId),
+}
+
+struct SimNode {
+    name: &'static str,
+    flops: f64,
+    blocks: Vec<BlockRange>,
+    comm: Option<CommOp>,
+    fp_bytes: u32,
+    iter: u64,
+    pending: u32,
+    completed: bool,
+    queued: bool,
+    is_redirect: bool,
+    succs: Vec<u32>,
+}
+
+enum Prod {
+    StartIter(u64),
+    Discover { iter: u64, specs: VecDeque<TaskSpec> },
+    Reinstance { iter: u64, next: u32 },
+    Barrier { next_iter: u64 },
+    Worker,
+}
+
+struct RankState {
+    engine: DiscoveryEngine,
+    nodes: Vec<SimNode>,
+    prod: Prod,
+    producer_helping: bool,
+    producer_done: bool,
+    live: u64,
+    ready_count: usize,
+    local: Vec<VecDeque<u32>>,
+    global: VecDeque<u32>,
+    idle_since: Vec<Option<SimTime>>,
+    held: Vec<u32>,
+    hier: MemoryHierarchy,
+    contention: DramContention,
+    // persistent template (CSR over nodes 0..n0)
+    tmpl_succ_off: Vec<u32>,
+    tmpl_succs: Vec<u32>,
+    tmpl_indeg: Vec<u32>,
+    tmpl_edges: Vec<(u32, u32)>,
+    n0: u32,
+    capture: bool,
+    in_template_iter: bool, // executing a re-instanced iteration
+    // accounting
+    work_ns: u64,
+    overhead_ns: u64,
+    idle_ns: u64,
+    tasks_executed: u64,
+    last_event: SimTime,
+    stalls: ptdg_memsim::StallCycles,
+    /// Cumulative producer time spent discovering / re-instancing (the
+    /// paper's Table 2 "discovery" column: busy time, excluding barriers
+    /// and helping).
+    disc_busy_ns: u64,
+    disc_first_iter_ns: u64,
+    // overlap accounting
+    open_tracked: u32,
+    running_work: u32,
+    overlap_last: SimTime,
+    overlapped_ns: u64,
+    // trace
+    trace: Option<Vec<Span>>,
+    rng: SplitRng,
+}
+
+impl RankState {
+    fn acc_overlap(&mut self, now: SimTime) {
+        // start_exec pre-advances the accounting clock to the task's start
+        // time; an event landing inside that window contributes nothing.
+        if now <= self.overlap_last {
+            return;
+        }
+        if self.open_tracked > 0 {
+            self.overlapped_ns +=
+                (now.as_ns() - self.overlap_last.as_ns()) * self.running_work as u64;
+        }
+        self.overlap_last = now;
+    }
+
+    fn span(&mut self, worker: u32, start: SimTime, end: SimTime, kind: SpanKind, name: &'static str, iter: u64) {
+        if let Some(tr) = &mut self.trace {
+            tr.push(Span {
+                worker,
+                start_ns: start.as_ns(),
+                end_ns: end.as_ns(),
+                kind,
+                name,
+                iter,
+            });
+        }
+    }
+}
+
+/// Streaming graph sink over a rank's node array.
+struct StreamSink<'a> {
+    nodes: &'a mut Vec<SimNode>,
+    space: &'a HandleSpace,
+    live: &'a mut u64,
+    capture: bool,
+    tmpl_edges: &'a mut Vec<(u32, u32)>,
+    newly_ready: &'a mut Vec<u32>,
+    iter: u64,
+}
+
+impl StreamSink<'_> {
+    fn resolve_blocks(&self, spec: &TaskSpec) -> Vec<BlockRange> {
+        let bb = self.space.block_bytes();
+        spec.work
+            .footprint
+            .iter()
+            .filter(|s| s.len > 0)
+            .map(|s| {
+                let info = self.space.info(s.handle);
+                let first = info.base_block + s.offset / bb;
+                let last = info.base_block + (s.offset + s.len - 1) / bb;
+                BlockRange::new(first, (last - first + 1) as u32)
+            })
+            .collect()
+    }
+}
+
+impl GraphSink for StreamSink<'_> {
+    fn add_task(&mut self, spec: &TaskSpec) -> TaskId {
+        let id = self.nodes.len() as u32;
+        let blocks = self.resolve_blocks(spec);
+        self.nodes.push(SimNode {
+            name: spec.name,
+            flops: spec.work.flops,
+            blocks,
+            comm: spec.comm,
+            fp_bytes: spec.fp_bytes,
+            iter: self.iter,
+            pending: 1, // creation token
+            completed: false,
+            queued: false,
+            is_redirect: false,
+            succs: Vec::new(),
+        });
+        *self.live += 1;
+        TaskId(id)
+    }
+
+    fn add_redirect(&mut self) -> TaskId {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(SimNode {
+            name: "<redirect>",
+            flops: 0.0,
+            blocks: Vec::new(),
+            comm: None,
+            fp_bytes: 0,
+            iter: self.iter,
+            pending: 1,
+            completed: false,
+            queued: false,
+            is_redirect: true,
+            succs: Vec::new(),
+        });
+        *self.live += 1;
+        TaskId(id)
+    }
+
+    fn add_edge(&mut self, pred: TaskId, succ: TaskId) -> bool {
+        if self.capture {
+            self.tmpl_edges.push((pred.0, succ.0));
+        }
+        if self.nodes[pred.index()].completed {
+            // Pruned live; in capture mode it still counts as created.
+            return self.capture;
+        }
+        self.nodes[succ.index()].pending += 1;
+        self.nodes[pred.index()].succs.push(succ.0);
+        true
+    }
+
+    fn seal(&mut self, task: TaskId) {
+        let n = &mut self.nodes[task.index()];
+        n.pending -= 1;
+        if n.pending == 0 {
+            self.newly_ready.push(task.0);
+        }
+    }
+
+    fn wants_bodies(&self) -> bool {
+        false
+    }
+}
+
+/// The simulation driver.
+pub struct TaskSim<'p> {
+    machine: MachineConfig,
+    cfg: SimConfig,
+    space: HandleSpace,
+    program: &'p dyn RankProgram,
+    evq: EventQueue<Ev>,
+    ranks: Vec<RankState>,
+    net: Network,
+    req_map: HashMap<ReqId, (u32, u32)>,
+    ready_buf: Vec<u32>,
+}
+
+/// Simulate a task-based program and return its measurements.
+pub fn simulate_tasks(
+    machine: &MachineConfig,
+    cfg: &SimConfig,
+    space: &HandleSpace,
+    program: &dyn RankProgram,
+) -> SimReport {
+    assert!(
+        !(cfg.persistent && cfg.non_overlapped),
+        "persistent + non-overlapped is not a studied configuration"
+    );
+    let mut sim = TaskSim::new(machine.clone(), cfg.clone(), space.clone(), program);
+    sim.run()
+}
+
+impl<'p> TaskSim<'p> {
+    fn new(
+        machine: MachineConfig,
+        cfg: SimConfig,
+        space: HandleSpace,
+        program: &'p dyn RankProgram,
+    ) -> Self {
+        assert_eq!(
+            machine.mem.block_bytes,
+            space.block_bytes(),
+            "HandleSpace block size must match the memory model"
+        );
+        let n_cores = machine.n_cores;
+        let ranks = (0..cfg.n_ranks)
+            .map(|r| RankState {
+                engine: DiscoveryEngine::new(cfg.opts),
+                nodes: Vec::new(),
+                prod: Prod::StartIter(0),
+                producer_helping: false,
+                producer_done: false,
+                live: 0,
+                ready_count: 0,
+                local: vec![VecDeque::new(); n_cores],
+                global: VecDeque::new(),
+                idle_since: vec![None; n_cores],
+                held: Vec::new(),
+                hier: MemoryHierarchy::new(machine.mem.clone(), n_cores),
+                contention: DramContention::new(machine.mem.dram_bw_bytes_per_s),
+                tmpl_succ_off: Vec::new(),
+                tmpl_succs: Vec::new(),
+                tmpl_indeg: Vec::new(),
+                tmpl_edges: Vec::new(),
+                n0: 0,
+                capture: cfg.persistent,
+                in_template_iter: false,
+                work_ns: 0,
+                overhead_ns: 0,
+                idle_ns: 0,
+                tasks_executed: 0,
+                last_event: SimTime::ZERO,
+                stalls: Default::default(),
+                disc_busy_ns: 0,
+                disc_first_iter_ns: 0,
+                open_tracked: 0,
+                running_work: 0,
+                overlap_last: SimTime::ZERO,
+                overlapped_ns: 0,
+                trace: (cfg.record_trace_rank == Some(r)).then(Vec::new),
+                rng: SplitRng::new(cfg.seed.wrapping_add(r as u64 * 0x9E37_79B9)),
+            })
+            .collect();
+        let net = Network::new(cfg.net.clone(), cfg.n_ranks);
+        TaskSim {
+            machine,
+            cfg,
+            space,
+            program,
+            evq: EventQueue::new(),
+            ranks,
+            net,
+            req_map: HashMap::new(),
+            ready_buf: Vec::new(),
+        }
+    }
+
+    fn run(&mut self) -> SimReport {
+        for r in 0..self.cfg.n_ranks {
+            self.evq.push(SimTime::ZERO, Ev::Producer(r));
+            // Cores 1.. start idle; core 0 is the producer.
+            for c in 1..self.machine.n_cores {
+                self.ranks[r as usize].idle_since[c] = Some(SimTime::ZERO);
+            }
+        }
+        while let Some(ev) = self.evq.pop() {
+            let now = ev.time;
+            match ev.payload {
+                Ev::Producer(rank) => self.producer_step(rank, now),
+                Ev::CoreFree { rank, core } => self.core_free(rank, core, now),
+                Ev::TaskDone {
+                    rank,
+                    core,
+                    node,
+                    work_ns,
+                    demand,
+                } => self.task_done(rank, core, node, work_ns, demand, now),
+                Ev::ReqDone(req) => self.req_done(req, now),
+            }
+        }
+        self.finalize()
+    }
+
+    // ---- producer -------------------------------------------------------
+
+    fn note_rank_time(&mut self, rank: u32, now: SimTime) {
+        let st = &mut self.ranks[rank as usize];
+        if now > st.last_event {
+            st.last_event = now;
+        }
+    }
+
+    fn producer_step(&mut self, rank: u32, now: SimTime) {
+        self.note_rank_time(rank, now);
+        let st = &mut self.ranks[rank as usize];
+        match std::mem::replace(&mut st.prod, Prod::Worker) {
+            Prod::StartIter(iter) => {
+                if iter >= self.program.n_iterations() {
+                    st.prod = Prod::Worker;
+                    self.finish_discovery(rank, now);
+                } else if self.cfg.persistent && iter > 0 {
+                    // bookkeeping reset is free; the *time* is charged by
+                    // the paced Reinstance steps below.
+                    let n0 = st.n0;
+                    for k in 0..n0 as usize {
+                        let ind = st.tmpl_indeg[k];
+                        let n = &mut st.nodes[k];
+                        n.pending = ind + 1; // +1 visibility token
+                        n.completed = false;
+                        n.queued = false;
+                        n.iter = iter;
+                    }
+                    st.live += n0 as u64;
+                    st.in_template_iter = true;
+                    st.prod = Prod::Reinstance { iter, next: 0 };
+                    self.evq.push(now, Ev::Producer(rank));
+                } else {
+                    let mut rec = RecordingSubmitter::default();
+                    self.program.build_iteration(rank, iter, &mut rec);
+                    st.prod = Prod::Discover {
+                        iter,
+                        specs: rec.specs.into(),
+                    };
+                    self.evq.push(now, Ev::Producer(rank));
+                }
+            }
+            Prod::Discover { iter, mut specs } => {
+                // Throttling: the producer helps execute when bounds are hit.
+                if self
+                    .cfg
+                    .throttle
+                    .should_help(st.ready_count, st.live as usize)
+                {
+                    st.prod = Prod::Discover { iter, specs };
+                    self.producer_help(rank, now);
+                    return;
+                }
+                match specs.pop_front() {
+                    None => {
+                        if self.cfg.persistent {
+                            // iteration 0 ends: freeze the template
+                            debug_assert_eq!(iter, 0);
+                            self.freeze_template(rank);
+                            let st = &mut self.ranks[rank as usize];
+                            st.disc_first_iter_ns = st.disc_busy_ns;
+                            st.prod = Prod::Barrier { next_iter: iter + 1 };
+                            if st.live == 0 {
+                                self.evq.push(now, Ev::Producer(rank));
+                            }
+                        } else {
+                            st.prod = Prod::StartIter(iter + 1);
+                            self.evq.push(now, Ev::Producer(rank));
+                        }
+                    }
+                    Some(spec) => {
+                        let before = st.engine.stats();
+                        let space = &self.space;
+                        let RankState {
+                            engine,
+                            nodes,
+                            live,
+                            tmpl_edges,
+                            capture,
+                            ..
+                        } = st;
+                        self.ready_buf.clear();
+                        let mut sink = StreamSink {
+                            nodes,
+                            space,
+                            live,
+                            capture: *capture,
+                            tmpl_edges,
+                            newly_ready: &mut self.ready_buf,
+                            iter,
+                        };
+                        engine.submit(&mut sink, &spec);
+                        let cost = self.discovery_cost(&before, &self.ranks[rank as usize].engine.stats());
+                        let t_end = now + cost;
+                        let st = &mut self.ranks[rank as usize];
+                        st.overhead_ns += cost.as_ns();
+                        st.disc_busy_ns += cost.as_ns();
+                        st.span(0, now, t_end, SpanKind::Discovery, "<discovery>", iter);
+                        st.prod = Prod::Discover { iter, specs };
+                        let ready = std::mem::take(&mut self.ready_buf);
+                        for n in &ready {
+                            self.activate(rank, *n, None, t_end);
+                        }
+                        self.ready_buf = ready;
+                        self.evq.push(t_end, Ev::Producer(rank));
+                    }
+                }
+            }
+            Prod::Reinstance { iter, next } => {
+                let n0 = st.n0;
+                let hi = (next + REINSTANCE_BATCH).min(n0);
+                let mut cost = SimTime::ZERO;
+                for k in next..hi {
+                    let fp = st.nodes[k as usize].fp_bytes as u64;
+                    cost += self.machine.discovery.per_reinstance_task
+                        + self.machine.discovery.per_fp_byte.scaled(fp);
+                }
+                let t_end = now + cost;
+                st.overhead_ns += cost.as_ns();
+                st.disc_busy_ns += cost.as_ns();
+                st.span(0, now, t_end, SpanKind::Discovery, "<reinstance>", iter);
+                for k in next..hi {
+                    let n = &mut self.ranks[rank as usize].nodes[k as usize];
+                    n.pending -= 1; // visibility token
+                    if n.pending == 0 {
+                        self.activate(rank, k, None, t_end);
+                    }
+                }
+                let st = &mut self.ranks[rank as usize];
+                if hi >= n0 {
+                    st.prod = Prod::Barrier { next_iter: iter + 1 };
+                    if st.live == 0 {
+                        self.evq.push(t_end, Ev::Producer(rank));
+                    }
+                } else {
+                    st.prod = Prod::Reinstance { iter, next: hi };
+                    self.evq.push(t_end, Ev::Producer(rank));
+                }
+            }
+            Prod::Barrier { next_iter } => {
+                if st.live == 0 {
+                    st.in_template_iter = false;
+                    st.prod = Prod::StartIter(next_iter);
+                    self.evq.push(now, Ev::Producer(rank));
+                } else {
+                    st.prod = Prod::Barrier { next_iter };
+                }
+            }
+            Prod::Worker => { /* stale event after discovery finished */ }
+        }
+    }
+
+    fn discovery_cost(&self, before: &DiscoveryStats, after: &DiscoveryStats) -> SimTime {
+        let d = self.machine.discovery.clone();
+        let tasks = after.tasks - before.tasks;
+        let redirects = after.redirect_nodes - before.redirect_nodes;
+        let deps = after.depend_items - before.depend_items;
+        let created = after.edges_created - before.edges_created;
+        let pruned = after.edges_pruned - before.edges_pruned;
+        let probes = after.dup_probes - before.dup_probes;
+        d.per_task.scaled(tasks)
+            + d.per_redirect.scaled(redirects)
+            + d.per_depend.scaled(deps)
+            + d.per_edge.scaled(created)
+            + d.per_pruned_edge.scaled(pruned)
+            + d.per_dup_probe.scaled(probes)
+    }
+
+    fn freeze_template(&mut self, rank: u32) {
+        let st = &mut self.ranks[rank as usize];
+        let n0 = st.nodes.len() as u32;
+        st.n0 = n0;
+        let mut off = vec![0u32; n0 as usize + 1];
+        let mut indeg = vec![0u32; n0 as usize];
+        for &(p, s) in &st.tmpl_edges {
+            off[p as usize + 1] += 1;
+            indeg[s as usize] += 1;
+        }
+        for i in 0..n0 as usize {
+            off[i + 1] += off[i];
+        }
+        let mut cursor = off.clone();
+        let mut succs = vec![0u32; st.tmpl_edges.len()];
+        for &(p, s) in &st.tmpl_edges {
+            succs[cursor[p as usize] as usize] = s;
+            cursor[p as usize] += 1;
+        }
+        st.tmpl_succ_off = off;
+        st.tmpl_succs = succs;
+        st.tmpl_indeg = indeg;
+    }
+
+    fn finish_discovery(&mut self, rank: u32, now: SimTime) {
+        let st = &mut self.ranks[rank as usize];
+        st.producer_done = true;
+        // Non-overlapped mode: everything was held back; release it now.
+        let held = std::mem::take(&mut st.held);
+        for n in held {
+            self.enqueue(rank, n, None, now);
+        }
+        // Core 0 joins the worker pool.
+        self.evq.push(now, Ev::CoreFree { rank, core: 0 });
+    }
+
+    fn producer_help(&mut self, rank: u32, now: SimTime) {
+        if let Some((node, stolen)) = self.pick_task(rank, 0) {
+            self.ranks[rank as usize].producer_helping = true;
+            self.start_exec(rank, 0, node, stolen, now);
+        } else {
+            self.evq.push(now + THROTTLE_RETRY, Ev::Producer(rank));
+        }
+    }
+
+    // ---- readiness & queues ---------------------------------------------
+
+    /// A node's dependences are all satisfied: route it.
+    fn activate(&mut self, rank: u32, node: u32, by_core: Option<u32>, at: SimTime) {
+        let is_redirect = self.ranks[rank as usize].nodes[node as usize].is_redirect;
+        if is_redirect {
+            // Redirect nodes are empty: they complete the moment they are
+            // ready, costing nothing at execution time.
+            self.complete_node(rank, node, by_core, at);
+            return;
+        }
+        let st = &mut self.ranks[rank as usize];
+        if !st.producer_done && self.cfg.non_overlapped {
+            st.nodes[node as usize].queued = true;
+            st.held.push(node);
+            return;
+        }
+        self.enqueue(rank, node, by_core, at);
+    }
+
+    fn enqueue(&mut self, rank: u32, node: u32, by_core: Option<u32>, at: SimTime) {
+        let st = &mut self.ranks[rank as usize];
+        st.nodes[node as usize].queued = true;
+        st.ready_count += 1;
+        match (self.cfg.policy, by_core) {
+            (SchedPolicy::DepthFirst, Some(c)) => st.local[c as usize].push_back(node),
+            _ => st.global.push_back(node),
+        }
+        // Wake one idle core, if any (prefer the pushing core's neighbours).
+        if let Some(core) = st.idle_since.iter().position(|s| s.is_some()) {
+            let since = st.idle_since[core].take().unwrap();
+            st.idle_ns += at.as_ns().saturating_sub(since.as_ns());
+            st.span(core as u32, since, at, SpanKind::Idle, "", 0);
+            self.evq
+                .push(at + self.machine.sched.wakeup, Ev::CoreFree { rank, core: core as u32 });
+        }
+    }
+
+    fn pick_task(&mut self, rank: u32, core: u32) -> Option<(u32, bool)> {
+        let st = &mut self.ranks[rank as usize];
+        let picked = match self.cfg.policy {
+            SchedPolicy::DepthFirst => {
+                if let Some(n) = st.local[core as usize].pop_back() {
+                    Some((n, false))
+                } else if let Some(n) = st.global.pop_front() {
+                    Some((n, false))
+                } else {
+                    let n_cores = st.local.len();
+                    (0..n_cores)
+                        .map(|k| (core as usize + 1 + k) % n_cores)
+                        .find_map(|v| st.local[v].pop_front())
+                        .map(|n| (n, true))
+                }
+            }
+            SchedPolicy::BreadthFirst => st.global.pop_front().map(|n| (n, false)),
+        };
+        if let Some((n, _)) = picked {
+            st.ready_count -= 1;
+            st.nodes[n as usize].queued = false;
+        }
+        picked
+    }
+
+    // ---- execution --------------------------------------------------------
+
+    fn core_free(&mut self, rank: u32, core: u32, now: SimTime) {
+        self.note_rank_time(rank, now);
+        if core == 0 && !self.ranks[rank as usize].producer_done {
+            // Stale wakeup for the producer core while it is discovering.
+            return;
+        }
+        if let Some((node, stolen)) = self.pick_task(rank, core) {
+            self.start_exec(rank, core, node, stolen, now);
+        } else {
+            let st = &mut self.ranks[rank as usize];
+            if st.idle_since[core as usize].is_none() {
+                st.idle_since[core as usize] = Some(now);
+            }
+        }
+    }
+
+    fn start_exec(&mut self, rank: u32, core: u32, node: u32, stolen: bool, now: SimTime) {
+        let sched = &self.machine.sched;
+        let overhead =
+            sched.per_schedule + if stolen { sched.steal_penalty } else { SimTime::ZERO };
+        let t1 = now + overhead;
+        {
+            let st = &mut self.ranks[rank as usize];
+            st.overhead_ns += overhead.as_ns();
+            st.span(core, now, t1, SpanKind::Overhead, "", 0);
+        }
+        let comm = self.ranks[rank as usize].nodes[node as usize].comm;
+        match comm {
+            Some(op) => self.post_comm(rank, core, node, op, t1),
+            None => {
+                let (dur, demand) = self.compute_duration(rank, core, node);
+                let t_done = t1 + dur;
+                let st = &mut self.ranks[rank as usize];
+                st.acc_overlap(t1);
+                st.running_work += 1;
+                let n = &st.nodes[node as usize];
+                st.span(core, t1, t_done, SpanKind::Work, n.name, n.iter);
+                self.evq.push(
+                    t_done,
+                    Ev::TaskDone {
+                        rank,
+                        core,
+                        node,
+                        work_ns: dur.as_ns(),
+                        demand,
+                    },
+                );
+            }
+        }
+    }
+
+    fn compute_duration(
+        &mut self,
+        rank: u32,
+        core: u32,
+        node: u32,
+    ) -> (SimTime, Option<ptdg_memsim::DemandId>) {
+        let mem = &self.machine.mem;
+        let st = &mut self.ranks[rank as usize];
+        let n = &st.nodes[node as usize];
+        let flops = n.flops;
+        let blocks = std::mem::take(&mut st.nodes[node as usize].blocks);
+        let stats = st.hier.touch_footprint(core as usize, &blocks);
+        st.nodes[node as usize].blocks = blocks;
+        let stall = stats.stall_cycles(mem);
+        st.stalls.l1 += stall.l1;
+        st.stalls.l2 += stall.l2;
+        st.stalls.l3 += stall.l3;
+        let compute_s = flops / mem.flops_per_s;
+        let fast_stall_s = mem.cycles_to_secs(stall.l1 + stall.l2);
+        let dram_s = mem.cycles_to_secs(stall.l3);
+        let nominal_s = (compute_s + fast_stall_s + dram_s).max(1e-12);
+        let demand = if dram_s > 0.0 {
+            let id = st
+                .contention
+                .register(stats.dram_bytes(mem) as f64 / nominal_s);
+            Some(id)
+        } else {
+            None
+        };
+        let factor = st.contention.factor();
+        let mut dur_s = compute_s + fast_stall_s + dram_s * factor;
+        if self.cfg.work_jitter > 0.0 {
+            dur_s *= 1.0 + self.cfg.work_jitter * (2.0 * st.rng.next_f64() - 1.0);
+        }
+        (SimTime::from_secs_f64(dur_s), demand)
+    }
+
+    fn task_done(
+        &mut self,
+        rank: u32,
+        core: u32,
+        node: u32,
+        work_ns: u64,
+        demand: Option<ptdg_memsim::DemandId>,
+        now: SimTime,
+    ) {
+        self.note_rank_time(rank, now);
+        {
+            let st = &mut self.ranks[rank as usize];
+            if let Some(id) = demand {
+                st.contention.unregister(id);
+            }
+            st.acc_overlap(now);
+            st.running_work -= 1;
+            st.work_ns += work_ns;
+            st.tasks_executed += 1;
+        }
+        self.complete_node(rank, node, Some(core), now);
+        let n_succ = self.succ_count(rank, node);
+        let release = self.machine.sched.per_release.scaled(n_succ as u64);
+        self.ranks[rank as usize].overhead_ns += release.as_ns();
+        let t_next = now + release;
+        let st = &mut self.ranks[rank as usize];
+        if core == 0 && !st.producer_done {
+            st.producer_helping = false;
+            self.evq.push(t_next, Ev::Producer(rank));
+        } else {
+            self.evq.push(t_next, Ev::CoreFree { rank, core });
+        }
+    }
+
+    fn succ_count(&self, rank: u32, node: u32) -> usize {
+        let st = &self.ranks[rank as usize];
+        if st.in_template_iter {
+            let lo = st.tmpl_succ_off[node as usize] as usize;
+            let hi = st.tmpl_succ_off[node as usize + 1] as usize;
+            hi - lo
+        } else {
+            st.nodes[node as usize].succs.len()
+        }
+    }
+
+    fn complete_node(&mut self, rank: u32, node: u32, by_core: Option<u32>, now: SimTime) {
+        let st = &mut self.ranks[rank as usize];
+        debug_assert!(!st.nodes[node as usize].completed, "node completed twice");
+        st.nodes[node as usize].completed = true;
+        let succs: Vec<u32> = if st.in_template_iter {
+            let lo = st.tmpl_succ_off[node as usize] as usize;
+            let hi = st.tmpl_succ_off[node as usize + 1] as usize;
+            st.tmpl_succs[lo..hi].to_vec()
+        } else {
+            std::mem::take(&mut st.nodes[node as usize].succs)
+        };
+        st.live -= 1;
+        for s in succs {
+            let n = &mut self.ranks[rank as usize].nodes[s as usize];
+            debug_assert!(n.pending > 0);
+            n.pending -= 1;
+            if n.pending == 0 && !n.queued && !n.completed {
+                self.activate(rank, s, by_core, now);
+            }
+        }
+        let st = &mut self.ranks[rank as usize];
+        if st.live == 0 {
+            if let Prod::Barrier { .. } = st.prod {
+                self.evq.push(now, Ev::Producer(rank));
+            }
+        }
+    }
+
+    // ---- communication ----------------------------------------------------
+
+    fn post_comm(&mut self, rank: u32, core: u32, node: u32, op: CommOp, t1: SimTime) {
+        let (req, comps) = match op {
+            CommOp::Isend { peer, bytes, tag } => self.net.post_isend(t1, rank, peer, tag, bytes),
+            CommOp::Irecv { peer, bytes, tag } => self.net.post_irecv(t1, peer, rank, tag, bytes),
+            CommOp::Iallreduce { bytes } => self.net.post_iallreduce(t1, rank, bytes),
+        };
+        self.req_map.insert(req, (rank, node));
+        let tracked = !matches!(op, CommOp::Irecv { .. });
+        let st = &mut self.ranks[rank as usize];
+        if tracked {
+            st.acc_overlap(t1);
+            st.open_tracked += 1;
+        }
+        let post_end = t1 + self.cfg.net.post_cost;
+        let n = &st.nodes[node as usize];
+        st.span(core, t1, post_end, SpanKind::Work, n.name, n.iter);
+        for c in comps {
+            self.evq.push(c.at, Ev::ReqDone(c.req));
+        }
+        // The core is free as soon as the request is posted (detach).
+        let st = &mut self.ranks[rank as usize];
+        if core == 0 && !st.producer_done {
+            st.producer_helping = false;
+            self.evq.push(post_end, Ev::Producer(rank));
+        } else {
+            self.evq.push(post_end, Ev::CoreFree { rank, core });
+        }
+    }
+
+    fn req_done(&mut self, req: ReqId, now: SimTime) {
+        let (rank, node) = *self
+            .req_map
+            .get(&req)
+            .expect("completion for unknown request");
+        self.note_rank_time(rank, now);
+        let tracked = self.net.request(req).is_tracked();
+        if tracked {
+            let st = &mut self.ranks[rank as usize];
+            st.acc_overlap(now);
+            st.open_tracked -= 1;
+        }
+        self.ranks[rank as usize].tasks_executed += 1;
+        self.complete_node(rank, node, None, now);
+    }
+
+    // ---- finalization -----------------------------------------------------
+
+    fn finalize(&mut self) -> SimReport {
+        let n_iters = self.program.n_iterations();
+        let mut report = SimReport::default();
+        for (r, st) in self.ranks.iter_mut().enumerate() {
+            assert_eq!(
+                st.live, 0,
+                "rank {r}: deadlock — {} tasks never completed",
+                st.live
+            );
+            let span_end = st.last_event;
+            for c in 0..st.idle_since.len() {
+                if let Some(since) = st.idle_since[c].take() {
+                    st.idle_ns += span_end.as_ns().saturating_sub(since.as_ns());
+                    if st.trace.is_some() {
+                        st.span(c as u32, since, span_end, SpanKind::Idle, "", 0);
+                    }
+                }
+            }
+            let disc_ns = st.disc_busy_ns;
+            let edges_existing = if self.cfg.persistent {
+                st.tmpl_edges.len() as u64 * n_iters
+            } else {
+                st.engine.stats().edges_created
+            };
+            report.ranks.push(RankReport {
+                n_cores: self.machine.n_cores,
+                work_ns: st.work_ns,
+                overhead_ns: st.overhead_ns,
+                idle_ns: st.idle_ns,
+                span_ns: span_end.as_ns(),
+                discovery_ns: disc_ns,
+                discovery_first_iter_ns: if self.cfg.persistent {
+                    st.disc_first_iter_ns
+                } else {
+                    disc_ns
+                },
+                disc: st.engine.stats(),
+                cache: st.hier.totals(),
+                stalls: st.stalls,
+                tasks_executed: st.tasks_executed,
+                edges_existing,
+                comm_ns: self.net.tracked_comm_time(r as u32).as_ns(),
+                comm_coll_ns: self.net.tracked_comm_split(r as u32).0.as_ns(),
+                comm_p2p_ns: self.net.tracked_comm_split(r as u32).1.as_ns(),
+                overlapped_ns: st.overlapped_ns,
+            });
+            if let Some(spans) = st.trace.take() {
+                let span_ns = span_end.as_ns();
+                report.trace = Some(Trace {
+                    spans,
+                    n_workers: self.machine.n_cores,
+                    discovery_ns: disc_ns,
+                    span_ns,
+                });
+            }
+        }
+        assert!(self.net.all_complete(), "unmatched communication requests");
+        report
+    }
+}

@@ -1,0 +1,93 @@
+//! Quickstart: dependent tasks, discovery optimizations, and a persistent
+//! task graph on the real work-stealing executor.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ptdg::core::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn main() {
+    // 1. Register the data regions that `depend` clauses will name.
+    let mut space = HandleSpace::new();
+    let grid = space.region("grid", 1 << 16);
+    let halo = space.region("halo", 1 << 10);
+    let norm = space.region("norm", 8);
+
+    // 2. Spawn the executor: a depth-first work-stealing pool.
+    let exec = Executor::new(ExecConfig {
+        n_workers: 4,
+        policy: SchedPolicy::DepthFirst,
+        throttle: ThrottleConfig::mpc_default(),
+        profile: true,
+    });
+
+    // 3. Stream a small iterative stencil program through a *persistent
+    //    region*: iteration 0 discovers and captures the graph; later
+    //    iterations re-instance it for the cost of a memcpy.
+    let sum = Arc::new(AtomicU64::new(0));
+    let mut region = exec.persistent_region(OptConfig::all());
+    for iter in 0..8u64 {
+        let sum = sum.clone();
+        region.run(iter, |sub| {
+            // compute the grid
+            for _ in 0..4 {
+                let sum = sum.clone();
+                sub.submit(
+                    TaskSpec::new("compute")
+                        .depend(grid, AccessMode::InOutSet)
+                        .body(move |ctx| {
+                            // a little real work so the Gantt is visible
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                            sum.fetch_add(ctx.iter + 1, Ordering::Relaxed);
+                        }),
+                );
+            }
+            // pack the halo from the grid, then "reduce" a norm
+            sub.submit(
+                TaskSpec::new("pack")
+                    .depend(grid, AccessMode::In)
+                    .depend(halo, AccessMode::Out)
+                    .body(|_| {}),
+            );
+            sub.submit(
+                TaskSpec::new("reduce")
+                    .depend(grid, AccessMode::In)
+                    .depend(norm, AccessMode::Out)
+                    .body(|_| {}),
+            );
+        });
+    }
+
+    let template = region.template().expect("captured on iteration 0");
+    let stats = region.first_iteration_stats();
+    println!("persistent task graph:");
+    println!("  tasks/iteration      : {}", template.n_tasks());
+    println!(
+        "  nodes (with redirect): {} (optimization (c) inserted {})",
+        template.n_nodes(),
+        stats.redirect_nodes
+    );
+    println!("  edges/iteration      : {}", template.n_edges());
+    println!(
+        "  firstprivate bytes re-instanced per iteration: {}",
+        template.firstprivate_bytes()
+    );
+    println!(
+        "  duplicate edges elided by optimization (b): {}",
+        stats.dup_skipped
+    );
+    println!("  iterations run       : {}", region.iterations_run());
+    println!("  checksum             : {}", sum.load(Ordering::Relaxed));
+
+    let trace = exec.take_trace();
+    println!(
+        "\nexecuted {} task instances; mean grain {:.1} µs",
+        trace.n_tasks_run(),
+        trace.mean_task_grain_ns() / 1000.0
+    );
+    println!("\nGantt (one row per worker; digits are iterations):");
+    print!("{}", ptdg::core::profile::render_ascii_gantt(&trace, 72));
+}

@@ -1,0 +1,164 @@
+//! Property-based tests of the application kernels and their task
+//! programs: geometric invariants, operator properties, and graph
+//! self-consistency under randomized parameters.
+
+use proptest::prelude::*;
+use ptdg::cholesky::TileMatrix;
+use ptdg::core::builder::{CountingSubmitter, RecordingSubmitter};
+use ptdg::core::workdesc::CommOp;
+use ptdg::hpcg::{HpcgConfig, HpcgState, HpcgTask};
+use ptdg::lulesh::mesh::{overlapping_slices, slices, RankGrid};
+use ptdg::lulesh::{LuleshConfig, LuleshTask};
+use ptdg::simrt::RankProgram;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Slicing covers the index space exactly, in order, balanced.
+    #[test]
+    fn slices_partition_exactly(n in 1usize..10_000, k in 1usize..512) {
+        let r = slices(n, k);
+        prop_assert_eq!(r[0].0, 0);
+        prop_assert_eq!(r.last().unwrap().1, n);
+        for w in r.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0);
+        }
+        let (mut lo, mut hi) = (usize::MAX, 0usize);
+        for &(a, b) in &r {
+            prop_assert!(b > a);
+            lo = lo.min(b - a);
+            hi = hi.max(b - a);
+        }
+        prop_assert!(hi - lo <= 1, "balanced to within one item");
+    }
+
+    /// `overlapping_slices` returns exactly the slices intersecting the
+    /// query range.
+    #[test]
+    fn overlap_query_is_exact(n in 10usize..5_000, k in 1usize..64, q in 0usize..4_999) {
+        let r = slices(n, k);
+        let lo = q % n;
+        let hi = (lo + 1 + q % 37).min(n).max(lo + 1);
+        let (first, last) = overlapping_slices(&r, lo, hi);
+        for (i, &(a, b)) in r.iter().enumerate() {
+            let intersects = a < hi && b > lo;
+            if intersects {
+                prop_assert!((first..=last).contains(&i), "slice {i} [{a},{b}) missing");
+            }
+        }
+        // the returned endpoints really do intersect
+        prop_assert!(r[first].1 > lo || first == last);
+        prop_assert!(r[last].0 < hi);
+    }
+
+    /// Rank-grid neighbor relations are symmetric with opposite
+    /// directions and consistent message classes, for any cube size.
+    #[test]
+    fn rank_grid_symmetry(px in 1usize..5) {
+        let g = RankGrid::cube(px * px * px);
+        for r in 0..g.n_ranks() as u32 {
+            for nb in g.neighbors(r) {
+                let back = g
+                    .neighbors(nb.rank)
+                    .into_iter()
+                    .find(|x| x.rank == r)
+                    .expect("symmetric");
+                prop_assert_eq!(back.dir, RankGrid::opposite(nb.dir));
+                prop_assert_eq!(back.axes, nb.axes);
+            }
+        }
+    }
+
+    /// LULESH task streams: every rank's sends match the peers' recvs in
+    /// tag and size, for random cube sizes and TPL.
+    #[test]
+    fn lulesh_comm_matches_for_any_grid(px in 2usize..4, s in 4usize..10, tpl in 1usize..32) {
+        let cfg = LuleshConfig {
+            grid: RankGrid::cube(px * px * px),
+            ..LuleshConfig::single(s, 1, tpl)
+        };
+        let prog = LuleshTask::new(cfg.clone());
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for r in 0..cfg.n_ranks() {
+            let mut c = RecordingSubmitter::default();
+            prog.build_iteration(r, 0, &mut c);
+            for spec in &c.specs {
+                match spec.comm {
+                    Some(CommOp::Isend { peer, bytes, tag }) => sends.push((r, peer, tag, bytes)),
+                    Some(CommOp::Irecv { peer, bytes, tag }) => recvs.push((peer, r, tag, bytes)),
+                    _ => {}
+                }
+            }
+        }
+        sends.sort_unstable();
+        recvs.sort_unstable();
+        prop_assert_eq!(sends, recvs);
+    }
+
+    /// The LULESH task count formula holds for arbitrary (s, TPL).
+    #[test]
+    fn lulesh_task_count_formula(s in 3usize..12, tpl in 1usize..64) {
+        let cfg = LuleshConfig::single(s, 1, tpl);
+        let prog = LuleshTask::new(cfg.clone());
+        let mut c = CountingSubmitter::default();
+        prog.build_iteration(0, 0, &mut c);
+        prop_assert_eq!(c.tasks as usize, cfg.compute_tasks_per_iteration());
+    }
+
+    /// The HPCG operator is symmetric positive definite: x'Ax > 0 for
+    /// random non-zero x (using the SpMV kernel directly).
+    #[test]
+    fn hpcg_operator_is_spd(nx in 3usize..7, seed in 1u64..1000) {
+        let cfg = HpcgConfig::single(nx, 1, 2);
+        let st = HpcgState::new(&cfg);
+        let n = cfg.n_rows();
+        // pseudo-random x
+        let mut x = seed;
+        let mut norm = 0.0;
+        for i in 0..n {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = ((x >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            st.p.set(i, v);
+            norm += v * v;
+        }
+        prop_assume!(norm > 1e-9);
+        st.k_spmv(0..n);
+        let xtax: f64 = (0..n).map(|i| st.p.get(i) * st.ap.get(i)).sum();
+        prop_assert!(xtax > 0.0, "x'Ax = {xtax} must be positive");
+    }
+
+    /// HPCG task streams also pair up for any 2x2x2.. process grid.
+    #[test]
+    fn hpcg_comm_matches(px in 2usize..4, nx in 4usize..8) {
+        let cfg = HpcgConfig {
+            px,
+            ..HpcgConfig::single(nx, 1, 4)
+        };
+        let prog = HpcgTask::new(cfg.clone());
+        let mut sends = Vec::new();
+        let mut recvs = Vec::new();
+        for r in 0..cfg.n_ranks() {
+            let mut c = RecordingSubmitter::default();
+            prog.build_iteration(r, 0, &mut c);
+            for spec in &c.specs {
+                match spec.comm {
+                    Some(CommOp::Isend { peer, bytes, tag }) => sends.push((r, peer, tag, bytes)),
+                    Some(CommOp::Irecv { peer, bytes, tag }) => recvs.push((peer, r, tag, bytes)),
+                    _ => {}
+                }
+            }
+        }
+        sends.sort_unstable();
+        recvs.sort_unstable();
+        prop_assert_eq!(sends, recvs);
+    }
+
+    /// Cholesky factorization is correct for any seed and small shape.
+    #[test]
+    fn cholesky_factors_random_spd(nt in 2usize..5, b in 2usize..6, seed in 0u64..500) {
+        let m = TileMatrix::new_spd(nt, b, seed);
+        m.factor_sequential();
+        prop_assert!(m.factorization_error() < 1e-8);
+    }
+}

@@ -1,0 +1,211 @@
+//! Cross-crate simulation scenarios: the applications on the virtual
+//! executor must reproduce the paper's qualitative effects at small scale.
+
+use ptdg::cholesky::{CholeskyConfig, CholeskyTask};
+use ptdg::core::opts::OptConfig;
+use ptdg::hpcg::{HpcgBsp, HpcgConfig, HpcgTask};
+use ptdg::lulesh::{LuleshBsp, LuleshConfig, LuleshTask, RankGrid};
+use ptdg::simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
+
+fn machine() -> MachineConfig {
+    MachineConfig::skylake_24()
+}
+
+#[test]
+fn lulesh_sim_runs_and_counts_tasks() {
+    let cfg = LuleshConfig::single(16, 2, 64);
+    let prog = LuleshTask::new(cfg.clone());
+    let r = simulate_tasks(&machine(), &SimConfig::default(), &prog.space, &prog);
+    let rank = r.rank(0);
+    assert_eq!(
+        rank.disc.tasks as usize,
+        2 * cfg.compute_tasks_per_iteration()
+    );
+    assert!(rank.work_ns > 0);
+    assert!(rank.span_ns > 0);
+}
+
+#[test]
+fn lulesh_fused_deps_speed_up_discovery() {
+    // Optimization (a): fewer depend items and edges -> faster discovery.
+    let mk = |fused| {
+        let cfg = LuleshConfig {
+            fused_deps: fused,
+            ..LuleshConfig::single(16, 2, 128)
+        };
+        let prog = LuleshTask::new(cfg);
+        simulate_tasks(&machine(), &SimConfig::default(), &prog.space, &prog)
+    };
+    let fused = mk(true);
+    let unfused = mk(false);
+    assert!(
+        fused.rank(0).discovery_ns < unfused.rank(0).discovery_ns,
+        "(a) must accelerate discovery: {} vs {}",
+        fused.rank(0).discovery_ns,
+        unfused.rank(0).discovery_ns
+    );
+    assert!(fused.rank(0).disc.depend_items < unfused.rank(0).disc.depend_items);
+}
+
+#[test]
+fn lulesh_optimizations_cut_edges_like_table2() {
+    // Non-overlapped discovery: no pruning, so edge counts reflect the
+    // graph structure (normal mode at this tiny scale prunes everything —
+    // predecessors finish long before their successors are discovered).
+    let mk = |fused: bool, opts: OptConfig| {
+        let cfg = LuleshConfig {
+            fused_deps: fused,
+            ..LuleshConfig::single(12, 2, 96)
+        };
+        let prog = LuleshTask::new(cfg);
+        let sim = SimConfig {
+            opts,
+            non_overlapped: true,
+            ..Default::default()
+        };
+        let r = simulate_tasks(&machine(), &sim, &prog.space, &prog);
+        r.rank(0).disc.edges_created
+    };
+    let none = mk(false, OptConfig::none());
+    let a = mk(true, OptConfig::none());
+    let b = mk(false, OptConfig::dedup_only());
+    let c = mk(false, OptConfig::redirect_only());
+    let abc = mk(true, OptConfig::all());
+    assert!(a < none, "(a): {a} < {none}");
+    assert!(b < none, "(b): {b} < {none}");
+    assert!(c < none, "(c): {c} < {none}");
+    assert!(abc < a && abc < b && abc < c, "(a)+(b)+(c) is the smallest");
+}
+
+#[test]
+fn lulesh_persistent_discovery_speedup_is_large() {
+    let cfg = LuleshConfig::single(12, 8, 96);
+    let prog = LuleshTask::new(cfg);
+    let base = simulate_tasks(&machine(), &SimConfig::default(), &prog.space, &prog);
+    let pers_cfg = SimConfig {
+        persistent: true,
+        ..Default::default()
+    };
+    let pers = simulate_tasks(&machine(), &pers_cfg, &prog.space, &prog);
+    let speedup = base.rank(0).discovery_ns as f64 / pers.rank(0).discovery_ns as f64;
+    assert!(
+        speedup > 4.0,
+        "persistent discovery speedup too small: {speedup:.1}"
+    );
+    // first iteration dominates the persistent discovery total
+    let first = pers.rank(0).discovery_first_iter_ns as f64;
+    let total = pers.rank(0).discovery_ns as f64;
+    assert!(first / total > 0.4, "first iter {first} of {total}");
+}
+
+#[test]
+fn lulesh_task_version_beats_parallel_for_intranode() {
+    // The headline intra-node effect (Fig. 6): tasks at a good TPL beat
+    // the parallel-for version through cache reuse. The mesh must be
+    // large enough that the per-loop footprints exceed the shared L3
+    // (s = 96 ≈ 85 MB of arrays vs 33 MB L3).
+    let s = 96;
+    let bsp_prog = LuleshBsp::new(LuleshConfig::single(s, 2, 1));
+    let bsp = simulate_bsp(&machine(), &SimConfig::default(), &bsp_prog.space, &bsp_prog);
+    let task_prog = LuleshTask::new(LuleshConfig::single(s, 2, 128));
+    let tasks = simulate_tasks(
+        &machine(),
+        &SimConfig::default(),
+        &task_prog.space,
+        &task_prog,
+    );
+    let speedup = bsp.total_time_s() / tasks.total_time_s();
+    assert!(
+        speedup > 1.08,
+        "tasks must beat parallel-for: {:.3}s vs {:.3}s (x{speedup:.2})",
+        bsp.total_time_s(),
+        tasks.total_time_s()
+    );
+    assert!(
+        (tasks.rank(0).cache.l3_misses as f64) < 0.8 * bsp.rank(0).cache.l3_misses as f64,
+        "the win must come from cache reuse: {} vs {}",
+        tasks.rank(0).cache.l3_misses,
+        bsp.rank(0).cache.l3_misses
+    );
+}
+
+#[test]
+fn lulesh_distributed_overlap_beats_bsp() {
+    let grid = RankGrid::cube(8);
+    let cfg = LuleshConfig {
+        grid,
+        ..LuleshConfig::single(48, 2, 96)
+    };
+    let sim = SimConfig {
+        n_ranks: 8,
+        ..Default::default()
+    };
+    let task_prog = LuleshTask::new(cfg.clone());
+    let tasks = simulate_tasks(&MachineConfig::epyc_16(), &sim, &task_prog.space, &task_prog);
+    let bsp_prog = LuleshBsp::new(cfg);
+    let bsp = simulate_bsp(&MachineConfig::epyc_16(), &sim, &bsp_prog.space, &bsp_prog);
+    // overlap exists for tasks, none for BSP
+    let t_ov = tasks.mean_over_ranks(|r| r.overlap_ratio());
+    let b_ov = bsp.mean_over_ranks(|r| r.overlap_ratio());
+    assert!(t_ov > 0.1, "task version must overlap: {t_ov}");
+    assert_eq!(b_ov, 0.0);
+    // every rank exchanged messages
+    for r in 0..8 {
+        assert!(tasks.rank(r).comm_ns > 0);
+    }
+}
+
+#[test]
+fn hpcg_sim_runs_both_versions() {
+    let cfg = HpcgConfig {
+        px: 2,
+        ..HpcgConfig::single(12, 4, 48)
+    };
+    let sim = SimConfig {
+        n_ranks: 8,
+        ..Default::default()
+    };
+    let task_prog = HpcgTask::new(cfg.clone());
+    let tasks = simulate_tasks(&machine(), &sim, &task_prog.space, &task_prog);
+    let bsp_prog = HpcgBsp::new(cfg);
+    let bsp = simulate_bsp(&machine(), &sim, &bsp_prog.space, &bsp_prog);
+    assert!(tasks.total_time_s() > 0.0);
+    assert!(bsp.total_time_s() > 0.0);
+    // HPCG has little comm relative to work: overlap ratio is low but
+    // defined
+    let ov = tasks.mean_over_ranks(|r| r.overlap_ratio());
+    assert!((0.0..=1.0).contains(&ov));
+}
+
+#[test]
+fn cholesky_persistent_speedup_with_negligible_total_impact() {
+    let cfg = CholeskyConfig::single(24, 128, 4);
+    let prog = CholeskyTask::new(cfg);
+    let base = simulate_tasks(&machine(), &SimConfig::default(), &prog.space, &prog);
+    let pers_cfg = SimConfig {
+        persistent: true,
+        ..Default::default()
+    };
+    let pers = simulate_tasks(&machine(), &pers_cfg, &prog.space, &prog);
+    let disc_speedup = base.rank(0).discovery_ns as f64 / pers.rank(0).discovery_ns as f64;
+    assert!(disc_speedup > 2.0, "discovery speedup: {disc_speedup:.1}");
+    // but total time barely moves: coarse tasks dominate
+    let ratio = pers.total_time_s() / base.total_time_s();
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "total time must be nearly unchanged: ratio {ratio:.3}"
+    );
+    // discovery is a small share of total time (paper: <2%)
+    assert!(base.rank(0).discovery_ns as f64 / (base.rank(0).span_ns as f64) < 0.20);
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let cfg = LuleshConfig::single(10, 2, 32);
+    let prog = LuleshTask::new(cfg);
+    let a = simulate_tasks(&machine(), &SimConfig::default(), &prog.space, &prog);
+    let b = simulate_tasks(&machine(), &SimConfig::default(), &prog.space, &prog);
+    assert_eq!(a.rank(0).span_ns, b.rank(0).span_ns);
+    assert_eq!(a.rank(0).work_ns, b.rank(0).work_ns);
+    assert_eq!(a.rank(0).cache.l3_misses, b.rank(0).cache.l3_misses);
+}

@@ -1,0 +1,186 @@
+//! Property-based tests of the simulation substrates: the network's
+//! matching/collective invariants and the cache hierarchy's structural
+//! properties under randomized inputs.
+
+use proptest::prelude::*;
+use ptdg::memsim::{BlockRange, LruCache, MemConfig, MemoryHierarchy};
+use ptdg::simcore::SimTime;
+use ptdg::simmpi::{NetConfig, Network, ReqKind};
+
+// ---------------------------------------------------------------------
+// simmpi
+// ---------------------------------------------------------------------
+
+/// A random sequence of matched P2P operations: for every (src, dst,
+/// tag, bytes) message we emit one send and one recv in arbitrary
+/// relative order across the timeline.
+#[derive(Clone, Debug)]
+struct MsgPlan {
+    msgs: Vec<(u32, u32, u32, u64)>, // src, dst, tag, bytes
+    send_first: Vec<bool>,
+}
+
+fn msg_plan(n_ranks: u32) -> impl Strategy<Value = MsgPlan> {
+    prop::collection::vec(
+        (
+            0..n_ranks,
+            0..n_ranks,
+            0..4u32,
+            prop_oneof![Just(128u64), Just(8192), Just(65536)],
+        ),
+        1..24,
+    )
+    .prop_flat_map(|msgs| {
+        let n = msgs.len();
+        (Just(msgs), prop::collection::vec(any::<bool>(), n))
+            .prop_map(|(msgs, send_first)| MsgPlan { msgs, send_first })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every matched message eventually completes both sides, and no
+    /// completion precedes its own posting.
+    #[test]
+    fn p2p_always_completes(plan in msg_plan(4)) {
+        let mut net = Network::new(NetConfig::default(), 4);
+        let mut t = 0u64;
+        let mut all = Vec::new();
+        for (k, &(src, dst, tag, bytes)) in plan.msgs.iter().enumerate() {
+            // distinct tags per message avoid FIFO cross-matching between
+            // different sizes on the same key
+            let tag = tag + 4 * k as u32;
+            t += 100;
+            let now = SimTime::from_ns(t);
+            if plan.send_first[k] {
+                let (s, c1) = net.post_isend(now, src, dst, tag, bytes);
+                let (r, c2) = net.post_irecv(now + SimTime::from_ns(50), src, dst, tag, bytes);
+                all.push(s);
+                all.push(r);
+                let _ = (c1, c2);
+            } else {
+                let (r, c1) = net.post_irecv(now, src, dst, tag, bytes);
+                let (s, c2) = net.post_isend(now + SimTime::from_ns(50), src, dst, tag, bytes);
+                all.push(s);
+                all.push(r);
+                let _ = (c1, c2);
+            }
+        }
+        prop_assert!(net.all_complete());
+        for id in all {
+            let req = net.request(id);
+            let done = req.completed_at.expect("completed");
+            prop_assert!(done >= req.posted_at, "completion before posting");
+        }
+    }
+
+    /// Rendezvous messages can never complete before both sides posted;
+    /// eager sends complete independently of the receiver.
+    #[test]
+    fn protocol_semantics(bytes in prop_oneof![Just(1024u64), Just(1 << 20)],
+                          gap_ns in 1_000u64..1_000_000) {
+        let cfg = NetConfig::default();
+        let rendezvous = cfg.is_rendezvous(bytes);
+        let mut net = Network::new(cfg, 2);
+        let (send, comps) = net.post_isend(SimTime::ZERO, 0, 1, 9, bytes);
+        if rendezvous {
+            prop_assert!(comps.is_empty());
+        } else {
+            prop_assert!(comps.iter().any(|c| c.req == send));
+        }
+        let recv_post = SimTime::from_ns(gap_ns);
+        let (_recv, comps) = net.post_irecv(recv_post, 0, 1, 9, bytes);
+        for c in &comps {
+            prop_assert!(c.at >= recv_post || !rendezvous);
+        }
+        prop_assert!(net.all_complete());
+    }
+
+    /// All-reduce: every rank's request completes at the same instant, and
+    /// that instant is not before the last join.
+    #[test]
+    fn allreduce_synchronizes(joins in prop::collection::vec(0u64..10_000, 2..8)) {
+        let p = joins.len() as u32;
+        let mut net = Network::new(NetConfig::default(), p);
+        let mut done_times = Vec::new();
+        for (rank, &t) in joins.iter().enumerate() {
+            let (_, comps) = net.post_iallreduce(SimTime::from_ns(t), rank as u32, 8);
+            done_times.extend(comps.iter().map(|c| c.at));
+        }
+        prop_assert_eq!(done_times.len(), p as usize);
+        let first = done_times[0];
+        prop_assert!(done_times.iter().all(|&d| d == first));
+        let last_join = joins.iter().max().unwrap();
+        prop_assert!(first.as_ns() >= *last_join);
+        // tracked metric: every rank has exactly one collective request
+        for r in 0..p {
+            prop_assert_eq!(net.tracked_request_count(r), 1);
+            prop_assert_eq!(
+                net.requests().iter().filter(|q| q.rank == r && q.kind == ReqKind::Allreduce).count(),
+                1
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // memsim
+    // ------------------------------------------------------------------
+
+    /// LRU occupancy never exceeds capacity, and re-touching within the
+    /// working set after warmup always hits when the set fits.
+    #[test]
+    fn lru_capacity_and_hits(cap in 1usize..64, ws in 1u64..128, stream in 0u64..3) {
+        let mut c = LruCache::new(cap);
+        let mut x = stream.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            c.access((x >> 30) % ws);
+            prop_assert!(c.len() <= cap);
+        }
+        if ws as usize <= cap {
+            // warm then everything hits
+            for b in 0..ws {
+                c.access(b);
+            }
+            for b in 0..ws {
+                prop_assert!(c.access(b));
+            }
+        }
+    }
+
+    /// Hierarchy counters are consistent: misses never exceed accesses and
+    /// deeper-level misses never exceed shallower ones.
+    #[test]
+    fn hierarchy_counter_consistency(ranges in prop::collection::vec((0u64..4000, 1u32..64), 1..20)) {
+        let cfg = MemConfig {
+            l1_bytes: 4 * 512,
+            l2_bytes: 32 * 512,
+            l3_bytes: 256 * 512,
+            ..MemConfig::default()
+        };
+        let mut h = MemoryHierarchy::new(cfg, 2);
+        for (i, &(base, count)) in ranges.iter().enumerate() {
+            let stats = h.touch_footprint(i % 2, &[BlockRange::new(base, count)]);
+            prop_assert!(stats.l1_misses <= stats.accesses);
+            prop_assert!(stats.l2_misses <= stats.l1_misses);
+            prop_assert!(stats.l3_misses <= stats.l2_misses);
+        }
+        let t = h.totals();
+        prop_assert!(t.l3_misses <= t.l2_misses && t.l2_misses <= t.l1_misses);
+        prop_assert!(t.l1_misses <= t.accesses);
+    }
+
+    /// Repeating the same footprint from the same core can only improve
+    /// (or keep) the miss counts at every level.
+    #[test]
+    fn repeat_touch_monotone(base in 0u64..1000, count in 1u32..32) {
+        let mut h = MemoryHierarchy::new(MemConfig::default(), 1);
+        let fp = [BlockRange::new(base, count)];
+        let first = h.touch_footprint(0, &fp);
+        let second = h.touch_footprint(0, &fp);
+        prop_assert!(second.l1_misses <= first.l1_misses);
+        prop_assert!(second.l2_misses <= first.l2_misses);
+        prop_assert!(second.l3_misses <= first.l3_misses);
+    }
+}
