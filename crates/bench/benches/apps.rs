@@ -31,7 +31,7 @@ fn bench_lulesh_step(c: &mut Criterion) {
     let mut group = c.benchmark_group("apps");
     group.sample_size(20);
     group.throughput(Throughput::Elements(
-        prog.cfg.compute_tasks_per_iteration() as u64,
+        prog.cfg.compute_tasks_per_iteration() as u64
     ));
     group.bench_function("lulesh_step_s10_tpl16", |b| {
         b.iter(|| {

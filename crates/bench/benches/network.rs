@@ -18,8 +18,7 @@ fn bench_p2p(c: &mut Criterion) {
             for i in 0..N {
                 let t = SimTime::from_ns(i * 10);
                 let (_, c1) = net.post_isend(t, 0, 1, (i % 8) as u32 + 8 * (i as u32 / 8), 4096);
-                let (_, c2) =
-                    net.post_irecv(t, 0, 1, (i % 8) as u32 + 8 * (i as u32 / 8), 4096);
+                let (_, c2) = net.post_irecv(t, 0, 1, (i % 8) as u32 + 8 * (i as u32 / 8), 4096);
                 completions += c1.len() + c2.len();
             }
             black_box(completions)

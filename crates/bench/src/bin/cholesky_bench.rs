@@ -3,10 +3,10 @@
 //! total time are unaffected (dense regular scheme, coarse tasks).
 //!
 //! ```sh
-//! cargo run --release -p ptdg-bench --bin cholesky
+//! cargo run --release -p ptdg-bench --bin cholesky_bench
 //! ```
 
-use ptdg_bench::{quick, rule, s};
+use ptdg_bench::{arr, emit_json, obj, quick, rule, s};
 use ptdg_cholesky::{CholeskyConfig, CholeskyTask};
 use ptdg_core::opts::OptConfig;
 use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
@@ -15,12 +15,19 @@ fn main() {
     let machine = MachineConfig::skylake_24();
     let (nt, b) = if quick() { (12, 64) } else { (24, 192) };
 
-    println!("Tile Cholesky nt={nt}, b={b} (n = {}) on a simulated 24-core node", nt * b);
+    println!(
+        "Tile Cholesky nt={nt}, b={b} (n = {}) on a simulated 24-core node",
+        nt * b
+    );
 
     // (a)/(b)/(c) neutrality: identical edges and totals.
     println!("\nedge-optimization neutrality (single factorization):");
-    println!("{:>14} {:>10} {:>12} {:>10}", "opts", "edges", "redirects", "total(s)");
+    println!(
+        "{:>14} {:>10} {:>12} {:>10}",
+        "opts", "edges", "redirects", "total(s)"
+    );
     rule(50);
+    let mut opt_rows = Vec::new();
     for (label, opts) in [
         ("none", OptConfig::none()),
         ("(b)", OptConfig::dedup_only()),
@@ -40,6 +47,12 @@ fn main() {
             r.rank(0).disc.redirect_nodes,
             s(r.total_time_s())
         );
+        opt_rows.push(obj([
+            ("optimizations", label.into()),
+            ("edges_structural", r.rank(0).disc.edges_attempted().into()),
+            ("redirects", r.rank(0).disc.redirect_nodes.into()),
+            ("total_s", r.total_time_s().into()),
+        ]));
     }
 
     // persistent-graph discovery speedup vs iteration count
@@ -49,6 +62,7 @@ fn main() {
         "iters", "streaming(ms)", "persistent(ms)", "speedup", "total(s)", "total+p(s)"
     );
     rule(76);
+    let mut pers_rows = Vec::new();
     for iters in [1u64, 2, 4, 8, 16] {
         let cfg = CholeskyConfig::single(nt, b, iters);
         let prog = CholeskyTask::new(cfg);
@@ -70,6 +84,23 @@ fn main() {
             s(base.total_time_s()),
             s(pers.total_time_s()),
         );
+        pers_rows.push(obj([
+            ("iterations", iters.into()),
+            (
+                "streaming_discovery_s",
+                (base.rank(0).discovery_ns as f64 * 1e-9).into(),
+            ),
+            (
+                "persistent_discovery_s",
+                (pers.rank(0).discovery_ns as f64 * 1e-9).into(),
+            ),
+            (
+                "discovery_speedup",
+                (base.rank(0).discovery_ns as f64 / pers.rank(0).discovery_ns as f64).into(),
+            ),
+            ("streaming_total_s", base.total_time_s().into()),
+            ("persistent_total_s", pers.total_time_s().into()),
+        ]));
     }
 
     // distributed variant: 1-D cyclic panels over 4 ranks
@@ -94,5 +125,16 @@ fn main() {
          total-time impact — 269 s vs 274 s on 768 cores — because coarse\n\
          regular tiles make discovery <2% of the run; (a)/(b)/(c) find\n\
          nothing to remove in the dense scheme)"
+    );
+    emit_json(
+        "cholesky",
+        obj([
+            ("nt", nt.into()),
+            ("block", b.into()),
+            ("opt_neutrality", arr(opt_rows)),
+            ("persistent_sweep", arr(pers_rows)),
+            ("distributed_total_s", r.total_time_s().into()),
+            ("distributed_comm_rank0_s", r.rank(0).comm_s().into()),
+        ]),
     );
 }

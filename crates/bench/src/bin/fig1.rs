@@ -10,14 +10,18 @@
 //! cargo run --release -p ptdg-bench --bin fig1
 //! ```
 
-use ptdg_bench::{quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP};
+use ptdg_bench::{arr, emit_json, obj, quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP};
 use ptdg_core::opts::OptConfig;
 use ptdg_lulesh::{LuleshBsp, LuleshConfig, LuleshTask};
 use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
 
 fn main() {
     let machine = MachineConfig::skylake_24();
-    let (mesh_s, iters) = if quick() { (48, 2) } else { (INTRA_S, INTRA_ITERS) };
+    let (mesh_s, iters) = if quick() {
+        (48, 2)
+    } else {
+        (INTRA_S, INTRA_ITERS)
+    };
 
     // parallel-for reference
     let bsp_prog = LuleshBsp::new(LuleshConfig::single(mesh_s, iters, 1));
@@ -33,6 +37,7 @@ fn main() {
     );
     rule(58);
     let mut best = (0usize, f64::INFINITY);
+    let mut rows = Vec::new();
     for &tpl in TPL_SWEEP {
         let cfg = LuleshConfig {
             fused_deps: false, // no optimization (a) in Fig. 1
@@ -55,6 +60,13 @@ fn main() {
             s(total),
             rank.disc.tasks
         );
+        rows.push(obj([
+            ("tpl", tpl.into()),
+            ("execution_s", rank.span_s().into()),
+            ("discovery_s", rank.discovery_s().into()),
+            ("total_s", total.into()),
+            ("tasks", rank.disc.tasks.into()),
+        ]));
         if total < best.1 {
             best = (tpl, total);
         }
@@ -69,5 +81,16 @@ fn main() {
     println!(
         "(paper: best TPL=1,200 at ~75 s vs ~86 s parallel-for, then the\n\
          discovery curve crosses the execution curve and binds total time)"
+    );
+    emit_json(
+        "fig1",
+        obj([
+            ("mesh_s", mesh_s.into()),
+            ("iterations", iters.into()),
+            ("parallel_for_s", bsp.total_time_s().into()),
+            ("best_tpl", best.0.into()),
+            ("best_total_s", best.1.into()),
+            ("rows", arr(rows)),
+        ]),
     );
 }

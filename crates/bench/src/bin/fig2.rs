@@ -7,14 +7,20 @@
 //! cargo run --release -p ptdg-bench --bin fig2
 //! ```
 
-use ptdg_bench::{quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP};
+use ptdg_bench::{arr, emit_json, obj, quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP};
 use ptdg_lulesh::{LuleshConfig, LuleshTask};
 use ptdg_simrt::{simulate_tasks, MachineConfig, RankReport, SimConfig};
 
 fn main() {
     let machine = MachineConfig::skylake_24();
-    let (mesh_s, iters) = if quick() { (48, 2) } else { (INTRA_S, INTRA_ITERS) };
-    println!("Fig. 2 — LULESH -s {mesh_s} -i {iters}, MPC-like runtime (opts (b)+(c), unfused deps)");
+    let (mesh_s, iters) = if quick() {
+        (48, 2)
+    } else {
+        (INTRA_S, INTRA_ITERS)
+    };
+    println!(
+        "Fig. 2 — LULESH -s {mesh_s} -i {iters}, MPC-like runtime (opts (b)+(c), unfused deps)"
+    );
 
     let mut rows: Vec<(usize, RankReport, f64)> = Vec::new();
     for &tpl in TPL_SWEEP {
@@ -28,7 +34,10 @@ fn main() {
     }
 
     println!("\n(a) tasks and edges discovered");
-    println!("{:>6} {:>10} {:>12} {:>14}", "TPL", "tasks", "edges", "edges(struct.)");
+    println!(
+        "{:>6} {:>10} {:>12} {:>14}",
+        "TPL", "tasks", "edges", "edges(struct.)"
+    );
     rule(46);
     for (tpl, r, _) in &rows {
         println!(
@@ -79,7 +88,10 @@ fn main() {
     }
 
     println!("\n(e) cache misses (millions)");
-    println!("{:>6} {:>10} {:>10} {:>10}", "TPL", "L1DCM", "L2DCM", "L3CM");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10}",
+        "TPL", "L1DCM", "L2DCM", "L3CM"
+    );
     rule(40);
     for (tpl, r, _) in &rows {
         println!(
@@ -109,5 +121,34 @@ fn main() {
     println!(
         "\n(paper shape: middle grains deflate work time via fewer L3 misses;\n\
          fine grains become discovery-bound — idle grows, reuse degrades)"
+    );
+    emit_json(
+        "fig2",
+        obj([
+            ("mesh_s", mesh_s.into()),
+            ("iterations", iters.into()),
+            (
+                "rows",
+                arr(rows
+                    .iter()
+                    .map(|(tpl, r, total)| {
+                        obj([
+                            ("tpl", (*tpl).into()),
+                            ("breakdown", ptdg_bench::breakdown_json(r, *total)),
+                            ("edges_structural", r.disc.edges_attempted().into()),
+                            ("grain_s", r.mean_grain_s().into()),
+                            ("overhead_per_task_s", r.mean_overhead_s().into()),
+                            ("work_ns", r.work_ns.into()),
+                            ("l1_misses", r.cache.l1_misses.into()),
+                            ("l2_misses", r.cache.l2_misses.into()),
+                            ("l3_misses", r.cache.l3_misses.into()),
+                            ("stall_cycles_l1", r.stalls.l1.into()),
+                            ("stall_cycles_l2", r.stalls.l2.into()),
+                            ("stall_cycles_l3", r.stalls.l3.into()),
+                        ])
+                    })
+                    .collect()),
+            ),
+        ]),
     );
 }

@@ -5,14 +5,18 @@
 //! cargo run --release -p ptdg-bench --bin fig6
 //! ```
 
-use ptdg_bench::{quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP};
+use ptdg_bench::{arr, emit_json, obj, quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP};
 use ptdg_core::opts::OptConfig;
 use ptdg_lulesh::{LuleshBsp, LuleshConfig, LuleshTask};
 use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
 
 fn main() {
     let machine = MachineConfig::skylake_24();
-    let (mesh_s, iters) = if quick() { (48, 2) } else { (INTRA_S, INTRA_ITERS) };
+    let (mesh_s, iters) = if quick() {
+        (48, 2)
+    } else {
+        (INTRA_S, INTRA_ITERS)
+    };
 
     let bsp_prog = LuleshBsp::new(LuleshConfig::single(mesh_s, iters, 1));
     let bsp = simulate_bsp(&machine, &SimConfig::default(), &bsp_prog.space, &bsp_prog);
@@ -26,6 +30,7 @@ fn main() {
     rule(68);
     let mut best = (0usize, f64::INFINITY);
     let mut best_nonopt = f64::INFINITY;
+    let mut rows = Vec::new();
     for &tpl in TPL_SWEEP {
         // optimized: fused deps + (b)+(c) + persistent
         let cfg = LuleshConfig::single(mesh_s, iters, tpl); // fused_deps = true
@@ -47,6 +52,11 @@ fn main() {
             s(total),
             rank.cache.l3_misses as f64 / 1e6
         );
+        rows.push(obj([
+            ("tpl", tpl.into()),
+            ("breakdown", ptdg_bench::breakdown_json(rank, total)),
+            ("l3_misses", rank.cache.l3_misses.into()),
+        ]));
         if total < best.1 {
             best = (tpl, total);
         }
@@ -74,4 +84,16 @@ fn main() {
         s(best_nonopt),
     );
     println!("(paper: 56 s vs 86 s parallel-for = 1.56x, and 1.27x vs 70 s non-optimized)");
+    emit_json(
+        "fig6",
+        obj([
+            ("mesh_s", mesh_s.into()),
+            ("iterations", iters.into()),
+            ("parallel_for_s", bsp.total_time_s().into()),
+            ("best_tpl", best.0.into()),
+            ("best_total_s", best.1.into()),
+            ("best_nonopt_total_s", best_nonopt.into()),
+            ("rows", arr(rows)),
+        ]),
+    );
 }

@@ -11,7 +11,7 @@
 //! PTDG_QUICK=1 cargo run --release -p ptdg-bench --bin fig7
 //! ```
 
-use ptdg_bench::{quick, rule, s};
+use ptdg_bench::{arr, emit_json, obj, quick, rule, s, Json};
 use ptdg_core::opts::OptConfig;
 use ptdg_lulesh::{LuleshBsp, LuleshConfig, LuleshTask, RankGrid};
 use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
@@ -28,9 +28,7 @@ fn main() {
     let center = (ranks / 2) as usize as u32;
     let jitter = 0.10;
 
-    println!(
-        "Fig. 7 — LULESH -s {mesh_s}/rank -i {iters} on {ranks} ranks × 16 cores (10% noise)"
-    );
+    println!("Fig. 7 — LULESH -s {mesh_s}/rank -i {iters} on {ranks} ranks × 16 cores (10% noise)");
 
     let base_cfg = LuleshConfig {
         grid,
@@ -52,9 +50,20 @@ fn main() {
         s(br.comm_s()),
     );
 
+    let mut variants = Vec::new();
     for (label, opts, fused, persistent) in [
-        ("task-based, TDG optimizations disabled", OptConfig::redirect_only(), false, false),
-        ("task-based, TDG optimizations enabled", OptConfig::all(), true, true),
+        (
+            "task-based, TDG optimizations disabled",
+            OptConfig::redirect_only(),
+            false,
+            false,
+        ),
+        (
+            "task-based, TDG optimizations enabled",
+            OptConfig::all(),
+            true,
+            true,
+        ),
     ] {
         println!("\n== {label} ==");
         println!(
@@ -63,6 +72,7 @@ fn main() {
         );
         rule(96);
         let mut best = f64::INFINITY;
+        let mut rows = Vec::new();
         for &tpl in sweep {
             let cfg = LuleshConfig {
                 grid,
@@ -92,12 +102,23 @@ fn main() {
                 s(rank.overlapped_ns as f64 * 1e-9 / rank.n_cores as f64),
                 100.0 * rank.overlap_ratio(),
             );
+            rows.push(obj([
+                ("tpl", tpl.into()),
+                ("breakdown", ptdg_bench::breakdown_json(rank, total)),
+                ("comm_s", rank.comm_s().into()),
+                ("overlap_ratio", rank.overlap_ratio().into()),
+            ]));
         }
         println!(
             "best: {} s ({:.2}x vs parallel-for)",
             s(best),
             bsp.total_time_s() / best
         );
+        variants.push(obj([
+            ("label", label.into()),
+            ("best_total_s", best.into()),
+            ("rows", arr(rows)),
+        ]));
     }
 
     // the +7% taskwait experiment (§4.1), at the best optimized TPL
@@ -129,5 +150,17 @@ fn main() {
     println!(
         "(paper: optimized tasks are 2.0x vs parallel-for and 1.2x vs\n\
          non-optimized; overlap ratio >80% with optimizations vs ~50% without)"
+    );
+    emit_json(
+        "fig7",
+        obj([
+            ("ranks", (ranks as u64).into()),
+            ("mesh_s", mesh_s.into()),
+            ("iterations", iters.into()),
+            ("parallel_for_s", bsp.total_time_s().into()),
+            ("variants", Json::Arr(variants)),
+            ("taskwait_fenced_s", fenced.total_time_s().into()),
+            ("taskwait_free_s", free.total_time_s().into()),
+        ]),
     );
 }

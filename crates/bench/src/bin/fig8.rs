@@ -12,7 +12,7 @@
 //! cargo run --release -p ptdg-bench --bin fig8
 //! ```
 
-use ptdg_bench::quick;
+use ptdg_bench::{emit_json, obj, quick, Json};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::profile::render_ascii_gantt;
 use ptdg_lulesh::{LuleshConfig, LuleshTask, RankGrid};
@@ -20,14 +20,28 @@ use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
 
 fn main() {
     let machine = MachineConfig::epyc_16();
-    let (ranks, mesh_s, iters, tpl): (u32, usize, u64, usize) =
-        if quick() { (8, 48, 3, 96) } else { (8, 96, 4, 192) };
+    let (ranks, mesh_s, iters, tpl): (u32, usize, u64, usize) = if quick() {
+        (8, 48, 3, 96)
+    } else {
+        (8, 96, 4, 192)
+    };
     let grid = RankGrid::cube(ranks as usize);
     let center = 0u32;
 
+    let mut variants = Vec::new();
     for (label, opts, fused, persistent) in [
-        ("TDG optimizations disabled", OptConfig::redirect_only(), false, false),
-        ("TDG optimizations enabled (persistent)", OptConfig::all(), true, true),
+        (
+            "TDG optimizations disabled",
+            OptConfig::redirect_only(),
+            false,
+            false,
+        ),
+        (
+            "TDG optimizations enabled (persistent)",
+            OptConfig::all(),
+            true,
+            true,
+        ),
     ] {
         let cfg = LuleshConfig {
             grid,
@@ -55,11 +69,32 @@ fn main() {
         );
         print!("{}", render_ascii_gantt(trace, 100));
         println!();
+        variants.push(obj([
+            ("label", label.into()),
+            ("total_s", r.total_time_s().into()),
+            ("comm_s", r.rank(center).comm_s().into()),
+            (
+                "comm_collective_s",
+                (r.rank(center).comm_coll_ns as f64 * 1e-9).into(),
+            ),
+            ("overlap_ratio", r.rank(center).overlap_ratio().into()),
+            ("n_spans", trace.spans.len().into()),
+        ]));
     }
     println!(
         "(paper: the persistent barrier prevents iteration n+1 tasks from\n\
          starting before iteration n ends, inflating collective time at\n\
          coarse TPL; without optimizations iterations interleave but the\n\
          slow discovery leaves threads idling)"
+    );
+    emit_json(
+        "fig8",
+        obj([
+            ("ranks", (ranks as u64).into()),
+            ("mesh_s", mesh_s.into()),
+            ("iterations", iters.into()),
+            ("tpl", tpl.into()),
+            ("variants", Json::Arr(variants)),
+        ]),
     );
 }

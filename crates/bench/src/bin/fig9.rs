@@ -9,7 +9,7 @@
 //! cargo run --release -p ptdg-bench --bin fig9
 //! ```
 
-use ptdg_bench::{quick, rule, s};
+use ptdg_bench::{arr, emit_json, obj, quick, rule, s};
 use ptdg_hpcg::{HpcgBsp, HpcgConfig, HpcgTask};
 use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
 
@@ -37,10 +37,20 @@ fn main() {
 
     println!(
         "{:>6} {:>9} {:>9} {:>9} {:>10} {:>9} | {:>8} {:>7} | {:>10} {:>10}",
-        "TPL", "work/c", "idle/c", "ovh/c", "discovery", "total", "comm(s)", "ovl%", "edges/task", "grain(µs)"
+        "TPL",
+        "work/c",
+        "idle/c",
+        "ovh/c",
+        "discovery",
+        "total",
+        "comm(s)",
+        "ovl%",
+        "edges/task",
+        "grain(µs)"
     );
     rule(110);
     let mut best = (0usize, f64::INFINITY);
+    let mut rows = Vec::new();
     for &tpl in sweep {
         let cfg = HpcgConfig {
             px: 2,
@@ -65,6 +75,17 @@ fn main() {
             rank.disc.edges_attempted() as f64 / rank.disc.tasks as f64,
             rank.mean_grain_s() * 1e6,
         );
+        rows.push(obj([
+            ("tpl", tpl.into()),
+            ("breakdown", ptdg_bench::breakdown_json(rank, total)),
+            ("comm_s", rank.comm_s().into()),
+            ("overlap_ratio", rank.overlap_ratio().into()),
+            (
+                "edges_per_task",
+                (rank.disc.edges_attempted() as f64 / rank.disc.tasks as f64).into(),
+            ),
+            ("grain_s", rank.mean_grain_s().into()),
+        ]));
     }
     rule(110);
     println!(
@@ -78,5 +99,17 @@ fn main() {
          for; the best *work* time needs the finest 80 µs grain but loses it\n\
          to runtime contention; overlap ratio stays <=23% — HPCG simply has\n\
          too little communication to hide; edges/task grows with refinement)"
+    );
+    emit_json(
+        "fig9",
+        obj([
+            ("nx", nx.into()),
+            ("iterations", iters.into()),
+            ("ranks", (ranks as u64).into()),
+            ("parallel_for_s", bsp.total_time_s().into()),
+            ("best_tpl", best.0.into()),
+            ("best_total_s", best.1.into()),
+            ("rows", arr(rows)),
+        ]),
     );
 }

@@ -16,7 +16,7 @@
 //! PTDG_QUICK=1 cargo run --release -p ptdg-bench --bin table3
 //! ```
 
-use ptdg_bench::{quick, rule, s};
+use ptdg_bench::{arr, emit_json, obj, quick, rule, s};
 use ptdg_core::opts::OptConfig;
 use ptdg_lulesh::{LuleshBsp, LuleshConfig, LuleshTask, RankGrid};
 use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
@@ -60,6 +60,7 @@ fn main() {
     );
     rule(54);
     let mut t1 = None;
+    let mut weak_rows = Vec::new();
     for &p in plist {
         let cfg = LuleshConfig {
             grid: RankGrid::cube(p),
@@ -74,16 +75,24 @@ fn main() {
             bsp / task,
             100.0 * *eff / task
         );
+        weak_rows.push(obj([
+            ("ranks", p.into()),
+            ("parallel_for_s", bsp.into()),
+            ("task_s", task.into()),
+            ("speedup", (bsp / task).into()),
+            ("task_efficiency", (*eff / task).into()),
+        ]));
     }
 
     // strong scaling: fixed global mesh
-    let global_s = if quick() { 192 } else { 192 };
+    let global_s = 192;
     println!("\nstrong scaling: global mesh {global_s}³ elements, -i {iters}, dynamic TPL");
     println!(
         "{:>7} {:>8} {:>6} {:>12} {:>12} {:>9}",
         "ranks", "s/rank", "TPL", "for (s)", "task (s)", "speedup"
     );
     rule(60);
+    let mut strong_rows = Vec::new();
     for &p in plist.iter().filter(|&&p| p > 1) {
         let px = (p as f64).cbrt().round() as usize;
         let per_rank = global_s / px;
@@ -105,11 +114,29 @@ fn main() {
             s(task),
             bsp / task
         );
+        strong_rows.push(obj([
+            ("ranks", p.into()),
+            ("per_rank_s", per_rank.into()),
+            ("tpl", tpl.into()),
+            ("parallel_for_s", bsp.into()),
+            ("task_s", task.into()),
+            ("speedup", (bsp / task).into()),
+        ]));
     }
     println!(
         "\n(paper: weak scaling holds >95% efficiency to 1,000 ranks with the\n\
          task version ~2.0x ahead; strong scaling favours tasks until the\n\
          per-rank workload shrinks to a few percent of DRAM, after which\n\
          fine grain provides no gain)"
+    );
+    emit_json(
+        "table3",
+        obj([
+            ("weak_mesh_s", weak_s.into()),
+            ("strong_global_s", global_s.into()),
+            ("iterations", iters.into()),
+            ("weak_scaling", arr(weak_rows)),
+            ("strong_scaling", arr(strong_rows)),
+        ]),
     );
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p ptdg-bench --bin throttle
 //! ```
 
-use ptdg_bench::{quick, rule, s};
+use ptdg_bench::{arr, emit_json, obj, quick, rule, s};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::throttle::ThrottleConfig;
 use ptdg_lulesh::{LuleshConfig, LuleshTask};
@@ -29,6 +29,7 @@ fn main() {
         ("ready <= 512", ThrottleConfig::ready_bound(512)),
         ("total <= 10M (MPC)", ThrottleConfig::mpc_default()),
     ];
+    let mut rows = Vec::new();
     for (label, throttle) in configs {
         let cfg = LuleshConfig::single(mesh_s, iters, tpl);
         let prog = LuleshTask::new(cfg);
@@ -48,6 +49,14 @@ fn main() {
             s(r.total_time_s()),
             rank.cache.l3_misses as f64 / 1e6
         );
+        rows.push(obj([
+            ("throttle", label.into()),
+            ("work_per_core_s", rank.avg_work_s().into()),
+            ("idle_per_core_s", rank.avg_idle_s().into()),
+            ("overhead_per_core_s", rank.avg_overhead_s().into()),
+            ("total_s", r.total_time_s().into()),
+            ("l3_misses", rank.cache.l3_misses.into()),
+        ]));
     }
     rule(76);
     println!(
@@ -55,5 +64,14 @@ fn main() {
          scheduler the in-depth TDG vision that fine grains need — ~100,000\n\
          live tasks per LULESH iteration at the best configuration — while\n\
          MPC-OMP's total-task bound preserves it)"
+    );
+    emit_json(
+        "throttle",
+        obj([
+            ("mesh_s", mesh_s.into()),
+            ("iterations", iters.into()),
+            ("tpl", tpl.into()),
+            ("rows", arr(rows)),
+        ]),
     );
 }

@@ -27,11 +27,208 @@
 //! result; see `EXPERIMENTS.md` for the mapping and measured numbers).
 
 use ptdg_simrt::RankReport;
+use std::path::PathBuf;
 
 /// Whether `PTDG_QUICK=1` is set: harnesses shrink their problem sizes
 /// for smoke-testing (results keep their shape but lose fidelity).
+///
+/// Every harness calls this before doing any work, so it doubles as the
+/// early CLI check: a malformed or unwritable `--json` target fails here
+/// rather than after a multi-minute run.
 pub fn quick() -> bool {
-    std::env::var("PTDG_QUICK").map(|v| v == "1").unwrap_or(false)
+    if let Some(path) = json_path() {
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            eprintln!("cannot write --json target {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    std::env::var("PTDG_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+// ---- structured output ---------------------------------------------------
+
+/// A JSON value (the workspace is offline: no serde, so the harnesses
+/// carry their own minimal writer).
+#[derive(Clone, Debug)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers round-trip exactly up to 2^53).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+/// Build a [`Json::Obj`] from `(key, value)` pairs.
+pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// Build a [`Json::Arr`].
+pub fn arr(items: Vec<Json>) -> Json {
+    Json::Arr(items)
+}
+
+impl Json {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    if v.fract() == 0.0 && v.abs() < 9e15 {
+                        out.push_str(&format!("{}", *v as i64));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                } else {
+                    out.push_str("null"); // JSON has no NaN/Inf
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Serialize to a JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+}
+
+/// The `--json <path>` argument, if present on the command line.
+pub fn json_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--json" {
+            match args.next() {
+                Some(p) => return Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--json requires a path argument");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--json=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
+
+/// If `--json <path>` was passed, wrap `data` in a standard envelope
+/// (`bench` name + `quick` flag) and write it to the path. The on-stdout
+/// human tables are unaffected.
+pub fn emit_json(bench: &str, data: Json) {
+    if let Some(path) = json_path() {
+        let doc = obj([
+            ("bench", bench.into()),
+            ("quick", quick().into()),
+            ("data", data),
+        ]);
+        if let Err(e) = std::fs::write(&path, doc.render() + "\n") {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("(json written to {})", path.display());
+    }
+}
+
+/// The breakdown columns both stdout tables and JSON rows share.
+pub fn breakdown_json(r: &RankReport, total_s: f64) -> Json {
+    obj([
+        ("work_per_core_s", r.avg_work_s().into()),
+        ("idle_per_core_s", r.avg_idle_s().into()),
+        ("overhead_per_core_s", r.avg_overhead_s().into()),
+        ("discovery_s", r.discovery_s().into()),
+        ("total_s", total_s.into()),
+        ("tasks", r.disc.tasks.into()),
+        ("edges_created", r.disc.edges_created.into()),
+    ])
 }
 
 /// The standard intra-node sweep of tasks-per-loop values (the paper
@@ -84,6 +281,43 @@ pub fn breakdown_header(key: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_renders_and_escapes() {
+        let doc = obj([
+            ("name", "fig\"1\"\n".into()),
+            ("total_s", 1.5f64.into()),
+            ("tasks", 42u64.into()),
+            ("ok", true.into()),
+            (
+                "rows",
+                arr(vec![obj([("tpl", 24usize.into())]), Json::Null]),
+            ),
+        ]);
+        assert_eq!(
+            doc.render(),
+            r#"{"name":"fig\"1\"\n","total_s":1.5,"tasks":42,"ok":true,"rows":[{"tpl":24},null]}"#
+        );
+    }
+
+    #[test]
+    fn json_integers_render_without_fraction() {
+        assert_eq!(Json::from(3.0f64).render(), "3");
+        assert_eq!(Json::from(3.25f64).render(), "3.25");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn breakdown_json_has_the_table_columns() {
+        let r = RankReport {
+            n_cores: 2,
+            work_ns: 2_000_000_000,
+            ..Default::default()
+        };
+        let row = breakdown_json(&r, 1.5).render();
+        assert!(row.contains("\"work_per_core_s\":1"));
+        assert!(row.contains("\"total_s\":1.5"));
+    }
 
     #[test]
     fn formatting_helpers() {

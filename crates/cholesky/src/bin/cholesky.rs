@@ -16,7 +16,9 @@ fn main() {
     let mut b = 16usize;
     let mut repeats = 3u64;
     let mut seed = 42u64;
-    let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
     while k < argv.len() {
@@ -28,7 +30,9 @@ fn main() {
             ("--seed", Some(v)) => seed = v,
             ("--workers", Some(v)) => workers = v as usize,
             ("-h", _) | ("--help", _) => {
-                eprintln!("usage: cholesky [--nt T] [--b B] [--repeats R] [--seed S] [--workers W]");
+                eprintln!(
+                    "usage: cholesky [--nt T] [--b B] [--repeats R] [--seed S] [--workers W]"
+                );
                 return;
             }
             (flag, _) => {

@@ -67,6 +67,10 @@ impl RankProgram for CholeskyTask {
         self.cfg.iterations
     }
 
+    fn n_ranks(&self) -> Rank {
+        self.cfg.n_ranks
+    }
+
     fn build_iteration(&self, rank: Rank, _iter: u64, sub: &mut dyn TaskSubmitter) {
         use AccessMode::*;
         let cfg = &self.cfg;
@@ -80,12 +84,13 @@ impl RankProgram for CholeskyTask {
         // previous factorization's consumers).
         for i in 0..nt {
             for j in 0..=i {
-                let mut spec = TaskSpec::new("ResetTile")
-                    .depend(self.h(i, j), Out)
-                    .work(WorkDesc {
-                        flops: b * b,
-                        footprint: vec![self.tile_fp(i, j)],
-                    });
+                let mut spec =
+                    TaskSpec::new("ResetTile")
+                        .depend(self.h(i, j), Out)
+                        .work(WorkDesc {
+                            flops: b * b,
+                            footprint: vec![self.tile_fp(i, j)],
+                        });
                 if want {
                     let m = self.matrix.clone().unwrap();
                     let idx = i * (i + 1) / 2 + j;
@@ -132,30 +137,26 @@ impl RankProgram for CholeskyTask {
                             if peer == rank || !self.has_trailing_panel(peer, k) {
                                 continue;
                             }
-                            sub.submit(
-                                TaskSpec::new("MPI_Isend")
-                                    .depend(self.h(i, k), In)
-                                    .comm(CommOp::Isend {
-                                        peer,
-                                        bytes: tile_bytes,
-                                        tag: (k * nt + i) as u32,
-                                    }),
-                            );
+                            sub.submit(TaskSpec::new("MPI_Isend").depend(self.h(i, k), In).comm(
+                                CommOp::Isend {
+                                    peer,
+                                    bytes: tile_bytes,
+                                    tag: (k * nt + i) as u32,
+                                },
+                            ));
                         }
                     }
                 }
             } else if multi && self.has_trailing_panel(rank, k) {
                 // receive the panel tiles into the local ghosts
                 for i in (k + 1)..nt {
-                    sub.submit(
-                        TaskSpec::new("MPI_Irecv")
-                            .depend(self.h(i, k), Out)
-                            .comm(CommOp::Irecv {
-                                peer: panel_owner,
-                                bytes: tile_bytes,
-                                tag: (k * nt + i) as u32,
-                            }),
-                    );
+                    sub.submit(TaskSpec::new("MPI_Irecv").depend(self.h(i, k), Out).comm(
+                        CommOp::Irecv {
+                            peer: panel_owner,
+                            bytes: tile_bytes,
+                            tag: (k * nt + i) as u32,
+                        },
+                    ));
                 }
             }
 
@@ -232,7 +233,11 @@ mod tests {
         sends.sort_unstable();
         recvs.sort_unstable();
         assert_eq!(sends, recvs, "panel broadcast must pair up");
-        assert_eq!(kernels, cfg.kernel_tasks(), "work is partitioned, not duplicated");
+        assert_eq!(
+            kernels,
+            cfg.kernel_tasks(),
+            "work is partitioned, not duplicated"
+        );
     }
 
     #[test]
@@ -243,10 +248,7 @@ mod tests {
         let mut c = RecordingSubmitter::default();
         prog.build_iteration(0, 0, &mut c);
         for s in &c.specs {
-            assert!(s
-                .depends
-                .iter()
-                .all(|d| d.mode != AccessMode::InOutSet));
+            assert!(s.depends.iter().all(|d| d.mode != AccessMode::InOutSet));
             // no task names the same handle twice
             let mut hs: Vec<_> = s.depends.iter().map(|d| d.handle).collect();
             hs.sort_unstable();

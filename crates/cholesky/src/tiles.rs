@@ -4,8 +4,7 @@
 //! factor small matrices and verify `L·Lᵀ = A` directly.
 
 use ptdg_core::data::SharedVec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ptdg_simcore::SplitRng;
 
 /// The lower-triangular tiles of an SPD matrix, plus a pristine copy used
 /// to re-initialize between repeated factorizations.
@@ -32,8 +31,8 @@ impl TileMatrix {
     /// Generate a random SPD matrix `A = M·Mᵀ + n·I` with a fixed seed.
     pub fn new_spd(nt: usize, b: usize, seed: u64) -> TileMatrix {
         let n = nt * b;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let m: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut rng = SplitRng::new(seed);
+        let m: Vec<f64> = (0..n * n).map(|_| 2.0 * rng.next_f64() - 1.0).collect();
         // A = M Mᵀ + n I (dense, then tiled)
         let mut a = vec![0.0f64; n * n];
         for i in 0..n {

@@ -1,31 +1,22 @@
-//! Worker pool and scheduling policies.
+//! Worker pool: the *thread-pool policy* over the runtime kernel.
+//!
+//! Everything semantic — readiness, queue placement/steal order, hold
+//! gate, throttling, profiling — lives in [`crate::rt`]; this file only
+//! decides *which OS thread* consumes the queues and when the producer
+//! helps.
 
-use super::node::Node;
 use super::persistent::PersistentRegion;
 use super::session::Session;
 use crate::opts::OptConfig;
 use crate::profile::{Span, SpanKind, Trace};
+use crate::rt::{HoldGate, ReadyQueues, ReadyTracker, RtNode, RtProbe, SpanCollector};
 use crate::task::TaskCtx;
-use crate::throttle::ThrottleConfig;
-use crossbeam_deque::{Injector, Steal, Stealer, Worker as Deque};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::throttle::{ThrottleConfig, ThrottleGate};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Scheduling policy of the worker pool.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum SchedPolicy {
-    /// The paper's heuristic: newly-ready successors go to the completing
-    /// worker's LIFO deque (run next, reusing warm data); other workers
-    /// steal from the FIFO end. This is what makes fine task grains pay
-    /// off through cache reuse.
-    DepthFirst,
-    /// A single global FIFO queue: tasks run roughly in discovery order.
-    /// This is what a depth-first scheduler degrades into when discovery
-    /// is too slow to keep successors visible (paper §2.3.3).
-    BreadthFirst,
-}
+pub use crate::rt::SchedPolicy;
 
 /// Executor configuration.
 #[derive(Clone, Debug)]
@@ -55,22 +46,18 @@ impl Default for ExecConfig {
 }
 
 pub(crate) struct Pool {
-    pub injector: Injector<Arc<Node>>,
-    pub stealers: Vec<Stealer<Arc<Node>>>,
-    pub policy: SchedPolicy,
-    /// Tasks created and not yet completed.
-    pub live: AtomicUsize,
-    /// Approximate count of ready, not-yet-started tasks.
-    pub ready: AtomicUsize,
-    pub shutdown: AtomicBool,
+    pub queues: ReadyQueues<Arc<RtNode>>,
+    pub tracker: Arc<ReadyTracker>,
     /// Non-overlapped mode: buffer ready tasks until released.
-    pub gate_held: AtomicBool,
-    pub held: Mutex<Vec<Arc<Node>>>,
+    pub gate: HoldGate<Arc<RtNode>>,
+    pub throttle: ThrottleGate,
+    pub shutdown: AtomicBool,
     pub profile: bool,
-    /// Span buffers: one per worker plus one for the producer (last).
-    pub spans: Vec<Mutex<Vec<Span>>>,
+    /// One lane per worker plus one for the producer (last).
+    pub spans: SpanCollector,
     pub start: Instant,
     pub last_discovery_ns: AtomicU64,
+    n_workers: usize,
 }
 
 impl Pool {
@@ -78,81 +65,36 @@ impl Pool {
         self.start.elapsed().as_nanos() as u64
     }
 
-    /// Publish a task that just became ready.
-    pub fn make_ready(&self, node: Arc<Node>, local: Option<&Deque<Arc<Node>>>) {
-        if self.gate_held.load(Ordering::SeqCst) {
-            self.held.lock().push(node);
-            return;
-        }
-        self.ready.fetch_add(1, Ordering::SeqCst);
-        match (self.policy, local) {
-            (SchedPolicy::DepthFirst, Some(deque)) => deque.push(node),
-            _ => self.injector.push(node),
+    /// Publish a task that just became ready; `local` is the core whose
+    /// deque should receive it under depth-first (`None` = producer).
+    pub fn make_ready(&self, node: Arc<RtNode>, local: Option<usize>) {
+        if let Some(node) = self.gate.offer(node) {
+            self.tracker.became_ready();
+            self.queues.push(node, local);
         }
     }
 
     /// Open the gate, flushing buffered ready tasks in discovery order.
     pub fn release_gate(&self) {
-        if self.gate_held.swap(false, Ordering::SeqCst) {
-            let held = std::mem::take(&mut *self.held.lock());
-            for node in held {
-                self.ready.fetch_add(1, Ordering::SeqCst);
-                self.injector.push(node);
-            }
+        for node in self.gate.release() {
+            self.tracker.became_ready();
+            self.queues.push(node, None);
         }
     }
 
-    fn steal_global(&self) -> Option<Arc<Node>> {
-        loop {
-            match self.injector.steal() {
-                Steal::Success(n) => return Some(n),
-                Steal::Empty => return None,
-                Steal::Retry => {}
-            }
-        }
-    }
-
-    fn steal_from(&self, victim: usize) -> Option<Arc<Node>> {
-        loop {
-            match self.stealers[victim].steal() {
-                Steal::Success(n) => return Some(n),
-                Steal::Empty => return None,
-                Steal::Retry => {}
-            }
-        }
-    }
-
-    /// Find a ready task from the perspective of worker `idx` (or the
-    /// producer if `local` is `None`).
-    pub fn find_task(
-        &self,
-        local: Option<&Deque<Arc<Node>>>,
-        idx: usize,
-    ) -> Option<Arc<Node>> {
-        let found = match self.policy {
-            SchedPolicy::DepthFirst => local
-                .and_then(|d| d.pop())
-                .or_else(|| self.steal_global())
-                .or_else(|| {
-                    (0..self.stealers.len())
-                        .map(|k| (idx + 1 + k) % self.stealers.len())
-                        .find_map(|v| self.steal_from(v))
-                }),
-            SchedPolicy::BreadthFirst => self.steal_global(),
-        };
+    /// Find a ready task from the perspective of worker `idx`
+    /// (`None` = the producer).
+    pub fn find_task(&self, idx: Option<usize>) -> Option<Arc<RtNode>> {
+        let found = self.queues.pop(idx);
         if found.is_some() {
-            self.ready.fetch_sub(1, Ordering::SeqCst);
+            self.tracker.scheduled();
         }
-        found
+        found.map(|(node, _stolen)| node)
     }
 
-    /// Execute one task on behalf of `worker_idx`.
-    pub fn run_task(
-        &self,
-        node: Arc<Node>,
-        local: Option<&Deque<Arc<Node>>>,
-        worker_idx: usize,
-    ) {
+    /// Execute one task on behalf of `worker_idx` (the producer uses index
+    /// `n_workers`); `local` is the deque for newly-ready successors.
+    pub fn run_task(&self, node: Arc<RtNode>, local: Option<usize>, worker_idx: usize) {
         let ctx = TaskCtx {
             task: node.id,
             iter: node.iter.load(Ordering::SeqCst),
@@ -163,39 +105,26 @@ impl Pool {
             body(&ctx);
         }
         if self.profile {
-            let t1 = self.now_ns();
-            self.spans[worker_idx].lock().push(Span {
+            self.spans.span(Span {
                 worker: worker_idx as u32,
                 start_ns: t0,
-                end_ns: t1,
+                end_ns: self.now_ns(),
                 kind: SpanKind::Work,
                 name: node.name,
                 iter: ctx.iter,
             });
         }
-        // Release successors: streaming edges (taken) then persistent ones.
-        let taken = node.complete();
-        for succ in taken {
-            if succ.release_one() {
-                self.make_ready(succ, local);
-            }
+        for succ in node.complete().ready {
+            self.make_ready(succ, local);
         }
-        if let Some(persistent) = node.persistent_succs.get() {
-            for succ in persistent {
-                if succ.release_one() {
-                    self.make_ready(Arc::clone(succ), local);
-                }
-            }
-        }
-        self.live.fetch_sub(1, Ordering::SeqCst);
+        self.tracker.completed();
     }
 
     /// Try to execute one task from outside the worker pool (producer
     /// helping). Returns whether a task was run.
     pub fn help_once(&self) -> bool {
-        let n_workers = self.stealers.len();
-        if let Some(node) = self.find_task(None, 0) {
-            self.run_task(node, None, n_workers);
+        if let Some(node) = self.find_task(None) {
+            self.run_task(node, None, self.n_workers);
             true
         } else {
             false
@@ -203,14 +132,14 @@ impl Pool {
     }
 }
 
-fn worker_loop(pool: Arc<Pool>, idx: usize, deque: Deque<Arc<Node>>) {
+fn worker_loop(pool: Arc<Pool>, idx: usize) {
     loop {
-        if let Some(node) = pool.find_task(Some(&deque), idx) {
-            pool.run_task(node, Some(&deque), idx);
+        if let Some(node) = pool.find_task(Some(idx)) {
+            pool.run_task(node, Some(idx), idx);
         } else if pool.shutdown.load(Ordering::SeqCst) {
             // Drain once more to avoid losing tasks racing with shutdown.
-            if let Some(node) = pool.find_task(Some(&deque), idx) {
-                pool.run_task(node, Some(&deque), idx);
+            if let Some(node) = pool.find_task(Some(idx)) {
+                pool.run_task(node, Some(idx), idx);
             } else {
                 return;
             }
@@ -232,30 +161,24 @@ impl Executor {
     /// Spawn an executor with `cfg.n_workers` worker threads.
     pub fn new(cfg: ExecConfig) -> Executor {
         assert!(cfg.n_workers >= 1, "need at least one worker");
-        let deques: Vec<Deque<Arc<Node>>> = (0..cfg.n_workers).map(|_| Deque::new_lifo()).collect();
-        let stealers = deques.iter().map(|d| d.stealer()).collect();
         let pool = Arc::new(Pool {
-            injector: Injector::new(),
-            stealers,
-            policy: cfg.policy,
-            live: AtomicUsize::new(0),
-            ready: AtomicUsize::new(0),
+            queues: ReadyQueues::new(cfg.policy, cfg.n_workers),
+            tracker: Arc::new(ReadyTracker::new()),
+            gate: HoldGate::new(false),
+            throttle: ThrottleGate::new(cfg.throttle),
             shutdown: AtomicBool::new(false),
-            gate_held: AtomicBool::new(false),
-            held: Mutex::new(Vec::new()),
             profile: cfg.profile,
-            spans: (0..cfg.n_workers + 1).map(|_| Mutex::new(Vec::new())).collect(),
+            spans: SpanCollector::new(cfg.n_workers + 1),
             start: Instant::now(),
             last_discovery_ns: AtomicU64::new(0),
+            n_workers: cfg.n_workers,
         });
-        let workers = deques
-            .into_iter()
-            .enumerate()
-            .map(|(idx, deque)| {
+        let workers = (0..cfg.n_workers)
+            .map(|idx| {
                 let pool = Arc::clone(&pool);
                 std::thread::Builder::new()
                     .name(format!("ptdg-worker-{idx}"))
-                    .spawn(move || worker_loop(pool, idx, deque))
+                    .spawn(move || worker_loop(pool, idx))
                     .expect("spawn worker")
             })
             .collect();
@@ -289,6 +212,12 @@ impl Executor {
         Session::new(self, opts, true, false)
     }
 
+    /// Start a capturing session (used by persistent regions and graph
+    /// equivalence checks).
+    pub(crate) fn session_capturing(&self, opts: OptConfig) -> Session<'_> {
+        Session::new(self, opts, false, true)
+    }
+
     /// Start a persistent region (optimization (p)).
     pub fn persistent_region(&self, opts: OptConfig) -> PersistentRegion<'_> {
         PersistentRegion::new(self, opts)
@@ -296,29 +225,10 @@ impl Executor {
 
     /// Collect and clear the recorded trace (requires `cfg.profile`).
     pub fn take_trace(&self) -> Trace {
-        let mut trace = Trace {
-            n_workers: self.cfg.n_workers + 1,
-            discovery_ns: self.pool.last_discovery_ns.load(Ordering::SeqCst),
-            ..Default::default()
-        };
-        let mut t_min = u64::MAX;
-        let mut t_max = 0u64;
-        for buf in &self.pool.spans {
-            for span in buf.lock().drain(..) {
-                t_min = t_min.min(span.start_ns);
-                t_max = t_max.max(span.end_ns);
-                trace.spans.push(span);
-            }
-        }
-        if t_max > 0 && t_min != u64::MAX {
-            trace.span_ns = t_max - t_min;
-            // Rebase to the first span for readable Gantt output.
-            for s in &mut trace.spans {
-                s.start_ns -= t_min;
-                s.end_ns -= t_min;
-            }
-        }
-        trace
+        self.pool.spans.take_trace(
+            self.cfg.n_workers + 1,
+            self.pool.last_discovery_ns.load(Ordering::SeqCst),
+        )
     }
 }
 

@@ -1,35 +1,44 @@
 //! The shared-memory work-stealing executor.
 //!
-//! This is the "runtime" half of the paper's study, on real threads:
+//! This is the *thread-pool policy layer* over the runtime kernel
+//! ([`crate::rt`]) — the "runtime" half of the paper's study, on real
+//! threads:
 //!
 //! * one **producer** (the thread owning a [`Session`]) discovers the TDG
 //!   sequentially through [`crate::graph::DiscoveryEngine`], concurrently
 //!   with execution — exactly the single-producer discovery whose speed the
-//!   paper measures;
-//! * `n_workers` **workers** execute ready tasks. The default scheduling
-//!   policy is the paper's depth-first heuristic: a completing worker
-//!   pushes newly-ready successors onto its own LIFO deque, so the tasks
-//!   that reuse just-produced data run next on the same core; other workers
-//!   steal from the opposite (FIFO) end. A breadth-first mode (global FIFO
+//!   paper measures. Discovery writes into a kernel
+//!   [`crate::rt::GraphInstance`];
+//! * `n_workers` **workers** execute ready tasks off the kernel's
+//!   [`crate::rt::ReadyQueues`]. The default scheduling policy is the
+//!   paper's depth-first heuristic: a completing worker pushes newly-ready
+//!   successors onto its own LIFO deque, so the tasks that reuse
+//!   just-produced data run next on the same core; other workers steal
+//!   from the opposite (FIFO) end. A breadth-first mode (global FIFO
 //!   queue) is provided for comparison;
 //! * **throttling** ([`crate::throttle::ThrottleConfig`]) can turn the
 //!   producer into a consumer when ready/live bounds are exceeded;
-//! * a **hold gate** supports the paper's *non-overlapped* configuration
-//!   (Table 1): the whole graph is discovered before any task runs;
-//! * [`PersistentRegion`] implements optimization **(p)**: iteration 0 is
-//!   discovered once (concurrently with its execution) while a
-//!   [`crate::graph::TemplateRecorder`] captures every node and edge; later
-//!   iterations re-instance the captured graph by resetting dependence
-//!   counters and re-writing firstprivate data — no allocation, no depend
-//!   processing, no edge creation.
+//! * the kernel's **hold gate** supports the paper's *non-overlapped*
+//!   configuration (Table 1): the whole graph is discovered before any
+//!   task runs;
+//! * [`PersistentRegion`] implements optimization **(p)** over the
+//!   kernel's [`crate::rt::PersistentInstance`]: iteration 0 is discovered
+//!   once (concurrently with its execution) while a
+//!   [`crate::graph::TemplateRecorder`] captures every node and edge;
+//!   later iterations re-instance the captured graph by resetting
+//!   dependence counters and re-writing firstprivate data — no allocation,
+//!   no depend processing, no edge creation;
+//! * [`run_program`] runs a whole [`crate::program::RankProgram`] — the
+//!   same value the DES back-end in `ptdg-simrt` accepts.
 
 mod executor;
-mod node;
 mod persistent;
+mod run;
 mod session;
 #[cfg(test)]
 mod tests;
 
 pub use executor::{ExecConfig, Executor, SchedPolicy};
 pub use persistent::PersistentRegion;
+pub use run::{run_program, ThreadsConfig, ThreadsReport};
 pub use session::Session;

@@ -1,13 +1,11 @@
 //! Persistent task sub-graph (optimization (p)) on the thread executor.
 
 use super::executor::Executor;
-use super::node::Node;
-use super::session::Session;
 use crate::builder::TaskSubmitter;
 use crate::graph::{DiscoveryStats, GraphTemplate};
 use crate::opts::OptConfig;
+use crate::rt::PersistentInstance;
 use crate::task::TaskId;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -16,16 +14,16 @@ use std::time::Duration;
 /// The first call to [`PersistentRegion::run`] discovers the iteration's
 /// graph normally — concurrently with its execution — while capturing every
 /// node and edge (no pruning). Subsequent calls re-instance the captured
-/// graph: per node, reset the dependence counter and rewrite the
-/// firstprivate payload. No task descriptors are allocated, no `depend`
-/// clause is processed, no edge is created. An implicit barrier ends every
-/// iteration (tasks of iteration *n+1* cannot start before all of *n*
-/// completed — the behaviour visible in the paper's Gantt chart, Fig. 8).
+/// graph through the kernel's [`PersistentInstance`]: per node, reset the
+/// dependence counter and rewrite the firstprivate payload. No task
+/// descriptors are allocated, no `depend` clause is processed, no edge is
+/// created. An implicit barrier ends every iteration (tasks of iteration
+/// *n+1* cannot start before all of *n* completed — the behaviour visible
+/// in the paper's Gantt chart, Fig. 8).
 pub struct PersistentRegion<'e> {
     exec: &'e Executor,
     opts: OptConfig,
-    template: Option<Arc<GraphTemplate>>,
-    instanced: Vec<Arc<Node>>,
+    instance: Option<PersistentInstance>,
     first_stats: DiscoveryStats,
     iterations_run: u64,
 }
@@ -35,8 +33,7 @@ impl<'e> PersistentRegion<'e> {
         PersistentRegion {
             exec,
             opts,
-            template: None,
-            instanced: Vec::new(),
+            instance: None,
             first_stats: DiscoveryStats::default(),
             iterations_run: 0,
         }
@@ -51,15 +48,14 @@ impl<'e> PersistentRegion<'e> {
     /// Task bodies observe the current iteration via
     /// [`crate::task::TaskCtx::iter`].
     pub fn run<F: FnOnce(&mut dyn TaskSubmitter)>(&mut self, iter: u64, build: F) {
-        match &self.template {
+        match &self.instance {
             None => {
-                let mut session = Session::new(self.exec, self.opts, false, true);
+                let mut session = self.exec.session_capturing(self.opts);
                 session.set_iter(iter);
                 build(&mut session);
                 let (template, stats) = session.finish_capture();
                 self.first_stats = stats;
-                self.template = Some(Arc::new(template));
-                self.instance_nodes();
+                self.instance = Some(PersistentInstance::new(Arc::new(template), false));
             }
             Some(_) => self.run_instanced(iter),
         }
@@ -74,52 +70,27 @@ impl<'e> PersistentRegion<'e> {
     /// dependency scheme changes with it, and the capture cost is paid
     /// again, amortized over the iterations until the next adaptation.
     pub fn invalidate(&mut self) {
-        self.template = None;
-        self.instanced.clear();
-    }
-
-    /// Build the instanced node set once, from the captured template.
-    fn instance_nodes(&mut self) {
-        let template = self.template.as_ref().unwrap();
-        self.instanced = template
-            .ids()
-            .map(|id| {
-                let tn = template.node(id);
-                Node::new(id, tn.name, tn.body.clone(), 0)
-            })
-            .collect();
-        for id in template.ids() {
-            let succs: Vec<Arc<Node>> = template
-                .successors(id)
-                .map(|s| Arc::clone(&self.instanced[s.index()]))
-                .collect();
-            self.instanced[id.index()]
-                .persistent_succs
-                .set(succs)
-                .ok()
-                .expect("instance_nodes runs once");
-        }
+        self.instance = None;
     }
 
     /// Re-instance and execute one iteration from the template.
     fn run_instanced(&mut self, iter: u64) {
-        let template = Arc::clone(self.template.as_ref().unwrap());
+        let pinst = self.instance.as_ref().unwrap();
         let pool = Arc::clone(self.exec.pool());
         // The producer's whole per-iteration discovery work: counter reset
-        // plus the firstprivate "memcpy" (the iteration payload).
-        for id in template.ids() {
-            self.instanced[id.index()].reset_for_iteration(template.indegree(id), iter);
-        }
-        pool.live.fetch_add(self.instanced.len(), Ordering::SeqCst);
-        for id in template.roots() {
-            pool.make_ready(Arc::clone(&self.instanced[id.index()]), None);
+        // plus the firstprivate "memcpy" (the iteration payload). The
+        // thread back-end publishes the whole graph at once; only the
+        // template's roots come back ready.
+        pinst.begin_iteration(iter, &pool.tracker);
+        for node in pinst.publish(0..pinst.len()) {
+            pool.make_ready(node, None);
         }
         // Implicit end-of-iteration barrier.
         loop {
             if pool.help_once() {
                 continue;
             }
-            if pool.live.load(Ordering::SeqCst) == 0 {
+            if pool.tracker.quiescent() {
                 break;
             }
             std::thread::sleep(Duration::from_micros(20));
@@ -128,7 +99,7 @@ impl<'e> PersistentRegion<'e> {
 
     /// The captured template, if the first iteration has run.
     pub fn template(&self) -> Option<&Arc<GraphTemplate>> {
-        self.template.as_ref()
+        self.instance.as_ref().map(|i| i.template())
     }
 
     /// Discovery statistics of the first (capturing) iteration.
@@ -143,9 +114,9 @@ impl<'e> PersistentRegion<'e> {
 
     /// Ids of all captured tasks (for inspection).
     pub fn task_ids(&self) -> Vec<TaskId> {
-        self.template
+        self.instance
             .as_ref()
-            .map(|t| t.ids().collect())
+            .map(|i| i.template().ids().collect())
             .unwrap_or_default()
     }
 }

@@ -1,0 +1,106 @@
+//! Whole-program entry point for the thread back-end.
+//!
+//! Runs a [`RankProgram`] — the same value `ptdg_simrt::simulate_tasks`
+//! accepts — on real threads. Ranks execute sequentially on one worker
+//! pool (there is no memory transport between ranks in shared memory);
+//! communication tasks participate in the dependency graph but their
+//! network side effect is a no-op.
+
+use super::executor::{ExecConfig, Executor};
+use crate::graph::{DiscoveryStats, GraphTemplate};
+use crate::opts::OptConfig;
+use crate::program::RankProgram;
+use std::time::Instant;
+
+/// Configuration of a [`run_program`] call.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadsConfig {
+    /// Worker-pool configuration.
+    pub exec: ExecConfig,
+    /// Discovery optimizations.
+    pub opts: OptConfig,
+    /// Use a persistent region per rank (optimization (p)) instead of
+    /// streaming discovery every iteration.
+    pub persistent: bool,
+    /// Discover each rank's full stream before executing any task
+    /// (paper Table 1, non-overlapped).
+    pub non_overlapped: bool,
+    /// Capture the discovered graph per rank (equivalence checks). In
+    /// persistent mode the capture is the first-iteration template; in
+    /// streaming mode it spans every iteration.
+    pub capture_graph: bool,
+}
+
+/// What [`run_program`] reports.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadsReport {
+    /// Ranks executed.
+    pub n_ranks: u32,
+    /// Discovery statistics per rank.
+    pub per_rank_stats: Vec<DiscoveryStats>,
+    /// Producer-side discovery span per rank, nanoseconds.
+    pub discovery_ns: Vec<u64>,
+    /// Captured graph per rank (empty unless
+    /// [`ThreadsConfig::capture_graph`]).
+    pub graphs: Vec<GraphTemplate>,
+    /// Wall-clock for the whole run, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl ThreadsReport {
+    /// Discovery statistics merged over ranks.
+    pub fn stats(&self) -> DiscoveryStats {
+        let mut total = DiscoveryStats::default();
+        for s in &self.per_rank_stats {
+            total.merge(s);
+        }
+        total
+    }
+}
+
+/// Execute `program` on the thread back-end.
+pub fn run_program<P: RankProgram + ?Sized>(program: &P, cfg: &ThreadsConfig) -> ThreadsReport {
+    let exec = Executor::new(cfg.exec.clone());
+    let t0 = Instant::now();
+    let mut report = ThreadsReport {
+        n_ranks: program.n_ranks(),
+        ..Default::default()
+    };
+    for rank in 0..program.n_ranks() {
+        if cfg.persistent {
+            let mut region = exec.persistent_region(cfg.opts);
+            for iter in 0..program.n_iterations() {
+                region.run(iter, |sub| program.build_iteration(rank, iter, sub));
+            }
+            report.per_rank_stats.push(region.first_iteration_stats());
+            report.discovery_ns.push(0);
+            if cfg.capture_graph {
+                if let Some(t) = region.template() {
+                    report.graphs.push((**t).clone());
+                }
+            }
+        } else {
+            let mut session = if cfg.capture_graph {
+                exec.session_capturing(cfg.opts)
+            } else if cfg.non_overlapped {
+                exec.session_non_overlapped(cfg.opts)
+            } else {
+                exec.session(cfg.opts)
+            };
+            for iter in 0..program.n_iterations() {
+                session.set_iter(iter);
+                program.build_iteration(rank, iter, &mut session);
+            }
+            report.per_rank_stats.push(session.stats());
+            report.discovery_ns.push(session.discovery_ns());
+            if cfg.capture_graph {
+                let (graph, _) = session.finish_capture();
+                report.graphs.push(graph);
+            } else {
+                session.wait_all();
+            }
+        }
+    }
+    report.elapsed_ns = t0.elapsed().as_nanos() as u64;
+    report
+}

@@ -1,76 +1,26 @@
 //! A discovery/execution session on the thread executor.
 
 use super::executor::Executor;
-use super::node::Node;
 use crate::builder::TaskSubmitter;
-use crate::graph::{DiscoveryEngine, DiscoveryStats, GraphSink, GraphTemplate, TemplateRecorder};
+use crate::graph::{DiscoveryEngine, DiscoveryStats, GraphTemplate};
 use crate::opts::OptConfig;
+use crate::rt::{GraphInstance, InstanceOptions};
 use crate::task::{TaskId, TaskSpec};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// The live-graph sink: materializes nodes, attaches (possibly pruned)
-/// edges, optionally mirrors everything into a template recorder.
-struct LiveSink {
-    pool: Arc<super::executor::Pool>,
-    nodes: Vec<Arc<Node>>,
-    capture: Option<TemplateRecorder>,
-    iter: u64,
-}
-
-impl GraphSink for LiveSink {
-    fn add_task(&mut self, spec: &TaskSpec) -> TaskId {
-        let id = TaskId(self.nodes.len() as u32);
-        self.pool.live.fetch_add(1, Ordering::SeqCst);
-        self.nodes
-            .push(Node::new(id, spec.name, spec.body.clone(), self.iter));
-        if let Some(rec) = &mut self.capture {
-            let cap_id = rec.add_task(spec);
-            debug_assert_eq!(cap_id, id);
-        }
-        id
-    }
-
-    fn add_redirect(&mut self) -> TaskId {
-        let id = TaskId(self.nodes.len() as u32);
-        self.pool.live.fetch_add(1, Ordering::SeqCst);
-        self.nodes.push(Node::new(id, "<redirect>", None, 0));
-        if let Some(rec) = &mut self.capture {
-            let cap_id = rec.add_redirect();
-            debug_assert_eq!(cap_id, id);
-        }
-        id
-    }
-
-    fn add_edge(&mut self, pred: TaskId, succ: TaskId) -> bool {
-        let created = self.nodes[pred.index()].attach_succ(&self.nodes[succ.index()]);
-        if let Some(rec) = &mut self.capture {
-            // Persistent capture creates *every* edge (paper §3.2): the
-            // live execution may prune, but the template must not.
-            rec.add_edge(pred, succ);
-            return true;
-        }
-        created
-    }
-
-    fn seal(&mut self, task: TaskId) {
-        let node = &self.nodes[task.index()];
-        if node.seal() {
-            self.pool.make_ready(Arc::clone(node), None);
-        }
-    }
-}
-
 /// One sequential discovery stream plus the right to wait for its tasks.
 ///
 /// Obtained from [`Executor::session`] (overlapped),
 /// [`Executor::session_non_overlapped`] (paper Table 1 configuration), or
-/// internally by a persistent region's first iteration.
+/// internally by a persistent region's first iteration. Discovery writes
+/// into a kernel [`GraphInstance`]; this type only routes the tasks the
+/// instance reports ready and decides when the producer helps execute.
 pub struct Session<'e> {
     exec: &'e Executor,
     engine: DiscoveryEngine,
-    sink: LiveSink,
+    instance: GraphInstance,
     discovery_t0_ns: Option<u64>,
     discovery_t1_ns: u64,
 }
@@ -83,17 +33,19 @@ impl<'e> Session<'e> {
         capture: bool,
     ) -> Session<'e> {
         if non_overlapped {
-            exec.pool().gate_held.store(true, Ordering::SeqCst);
+            exec.pool().gate.close();
         }
         Session {
             exec,
             engine: DiscoveryEngine::new(opts),
-            sink: LiveSink {
-                pool: Arc::clone(exec.pool()),
-                nodes: Vec::new(),
-                capture: capture.then(|| TemplateRecorder::new(true)),
-                iter: 0,
-            },
+            instance: GraphInstance::new(
+                Arc::clone(&exec.pool().tracker),
+                InstanceOptions {
+                    want_bodies: true,
+                    keep_work: false,
+                    capture,
+                },
+            ),
             discovery_t0_ns: None,
             discovery_t1_ns: 0,
         }
@@ -102,16 +54,15 @@ impl<'e> Session<'e> {
     /// Submit one task; may execute tasks inline if throttling thresholds
     /// are exceeded.
     pub fn submit(&mut self, spec: TaskSpec) -> TaskId {
-        let pool = Arc::clone(&self.sink.pool);
+        let pool = Arc::clone(self.exec.pool());
         let now = pool.now_ns();
         self.discovery_t0_ns.get_or_insert(now);
-        let id = self.engine.submit(&mut self.sink, &spec);
+        let id = self.engine.submit(&mut self.instance, &spec);
         self.discovery_t1_ns = pool.now_ns();
-        let throttle = self.exec.config().throttle;
-        while throttle.should_help(
-            pool.ready.load(Ordering::SeqCst),
-            pool.live.load(Ordering::SeqCst),
-        ) {
+        for node in self.instance.drain_ready() {
+            pool.make_ready(node, None);
+        }
+        while pool.throttle.should_help(&pool.tracker) {
             if !pool.help_once() {
                 break;
             }
@@ -122,7 +73,7 @@ impl<'e> Session<'e> {
     /// Set the iteration number stamped on subsequently created tasks
     /// (what their bodies observe as [`crate::task::TaskCtx::iter`]).
     pub fn set_iter(&mut self, iter: u64) {
-        self.sink.iter = iter;
+        self.instance.set_iter(iter);
     }
 
     /// Block until every task submitted *so far* has completed, without
@@ -130,13 +81,13 @@ impl<'e> Session<'e> {
     /// submission point (used by codes that fence their communication
     /// sequences, §4.1 of the paper).
     pub fn taskwait(&mut self) {
-        let pool = Arc::clone(&self.sink.pool);
+        let pool = Arc::clone(self.exec.pool());
         pool.release_gate();
         loop {
             if pool.help_once() {
                 continue;
             }
-            if pool.live.load(Ordering::SeqCst) == 0 {
+            if pool.tracker.quiescent() {
                 break;
             }
             std::thread::sleep(Duration::from_micros(20));
@@ -159,7 +110,7 @@ impl<'e> Session<'e> {
     /// Release any held tasks and run until every submitted task has
     /// completed (the producer helps execute).
     pub fn wait_all(&mut self) {
-        let pool = Arc::clone(&self.sink.pool);
+        let pool = Arc::clone(self.exec.pool());
         pool.release_gate();
         pool.last_discovery_ns
             .store(self.discovery_ns(), Ordering::SeqCst);
@@ -167,7 +118,7 @@ impl<'e> Session<'e> {
             if pool.help_once() {
                 continue;
             }
-            if pool.live.load(Ordering::SeqCst) == 0 {
+            if pool.tracker.quiescent() {
                 break;
             }
             std::thread::sleep(Duration::from_micros(20));
@@ -179,12 +130,7 @@ impl<'e> Session<'e> {
     pub(crate) fn finish_capture(mut self) -> (GraphTemplate, DiscoveryStats) {
         self.wait_all();
         let stats = self.engine.stats();
-        let rec = self
-            .sink
-            .capture
-            .take()
-            .expect("finish_capture on a non-capturing session");
-        (rec.finish(), stats)
+        (self.instance.finish_capture(), stats)
     }
 }
 
@@ -198,6 +144,6 @@ impl Drop for Session<'_> {
     fn drop(&mut self) {
         // Never leave the gate closed: a dropped non-overlapped session
         // must not wedge the executor.
-        self.sink.pool.release_gate();
+        self.exec.pool().release_gate();
     }
 }

@@ -241,15 +241,10 @@ fn throttling_bounds_live_tasks() {
     let mut s = e.session(OptConfig::all());
     for _ in 0..200 {
         let pool_live_peak = peak.clone();
-        let pool = Arc::clone(e.pool());
-        s.submit(
-            TaskSpec::new("t")
-                .depend(x, AccessMode::In)
-                .body(move |_| {
-                    let live = pool.live.load(Ordering::SeqCst);
-                    pool_live_peak.fetch_max(live, Ordering::SeqCst);
-                }),
-        );
+        let tracker = Arc::clone(&e.pool().tracker);
+        s.submit(TaskSpec::new("t").depend(x, AccessMode::In).body(move |_| {
+            pool_live_peak.fetch_max(tracker.live(), Ordering::SeqCst);
+        }));
     }
     s.wait_all();
     // max_live=8 plus the one task the producer may be mid-submitting.
@@ -382,9 +377,13 @@ fn many_independent_tasks_all_run() {
     let mut s = e.session(OptConfig::all());
     for &h in &hs {
         let n = n.clone();
-        s.submit(TaskSpec::new("t").depend(h, AccessMode::Out).body(move |_| {
-            n.fetch_add(1, Ordering::SeqCst);
-        }));
+        s.submit(
+            TaskSpec::new("t")
+                .depend(h, AccessMode::Out)
+                .body(move |_| {
+                    n.fetch_add(1, Ordering::SeqCst);
+                }),
+        );
     }
     s.wait_all();
     assert_eq!(n.load(Ordering::SeqCst), 256);
@@ -433,18 +432,26 @@ fn taskwait_blocks_until_prior_tasks_complete() {
     let mut s = e.session(OptConfig::all());
     for _ in 0..16 {
         let n = n.clone();
-        s.submit(TaskSpec::new("pre").depend(x, AccessMode::In).body(move |_| {
-            std::thread::sleep(std::time::Duration::from_micros(100));
-            n.fetch_add(1, Ordering::SeqCst);
-        }));
+        s.submit(
+            TaskSpec::new("pre")
+                .depend(x, AccessMode::In)
+                .body(move |_| {
+                    std::thread::sleep(std::time::Duration::from_micros(100));
+                    n.fetch_add(1, Ordering::SeqCst);
+                }),
+        );
     }
     s.taskwait();
     assert_eq!(n.load(Ordering::SeqCst), 16, "taskwait drains prior tasks");
     // the session continues to work afterwards
     let n2 = n.clone();
-    s.submit(TaskSpec::new("post").depend(x, AccessMode::Out).body(move |_| {
-        n2.fetch_add(100, Ordering::SeqCst);
-    }));
+    s.submit(
+        TaskSpec::new("post")
+            .depend(x, AccessMode::Out)
+            .body(move |_| {
+                n2.fetch_add(100, Ordering::SeqCst);
+            }),
+    );
     s.wait_all();
     assert_eq!(n.load(Ordering::SeqCst), 116);
 }
@@ -493,9 +500,13 @@ fn capture_iteration_stamps_requested_iter() {
     let s7 = seen.clone();
     region.run(7, move |sub| {
         let s = s7.clone();
-        sub.submit(TaskSpec::new("t").depend(x, AccessMode::In).body(move |ctx| {
-            s.store(ctx.iter, Ordering::SeqCst);
-        }));
+        sub.submit(
+            TaskSpec::new("t")
+                .depend(x, AccessMode::In)
+                .body(move |ctx| {
+                    s.store(ctx.iter, Ordering::SeqCst);
+                }),
+        );
     });
     assert_eq!(seen.load(Ordering::SeqCst), 7, "capture run sees iter 7");
     region.run(8, |_| unreachable!());

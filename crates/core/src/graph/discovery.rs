@@ -83,6 +83,12 @@ impl DiscoveryEngine {
             h.group_base.clear();
             h.readers.clear();
         }
+        // The duplicate-edge probe table must reset too: if the sink's ids
+        // restart (a fresh graph instance after the barrier), a stale
+        // `last_succ[pred] == succ` entry from the previous graph would
+        // wrongly suppress the first real `pred -> succ` edge of the new
+        // one.
+        self.last_succ.fill(NO_SUCC);
     }
 
     fn handle_mut(&mut self, idx: usize) -> &mut HandleState {
@@ -287,7 +293,11 @@ mod tests {
         }
     }
 
-    fn space2() -> (HandleSpace, crate::handle::DataHandle, crate::handle::DataHandle) {
+    fn space2() -> (
+        HandleSpace,
+        crate::handle::DataHandle,
+        crate::handle::DataHandle,
+    ) {
         let mut s = HandleSpace::new();
         let x = s.region("x", 64);
         let y = s.region("y", 64);
@@ -391,7 +401,10 @@ mod tests {
             let mut eng = DiscoveryEngine::new(opts);
             let mut sink = MemSink::default();
             for _ in 0..m {
-                eng.submit(&mut sink, &TaskSpec::new("X").depend(x, AccessMode::InOutSet));
+                eng.submit(
+                    &mut sink,
+                    &TaskSpec::new("X").depend(x, AccessMode::InOutSet),
+                );
             }
             for _ in 0..n {
                 eng.submit(&mut sink, &TaskSpec::new("Y").depend(x, AccessMode::In));
@@ -413,8 +426,14 @@ mod tests {
         let mut eng = DiscoveryEngine::new(OptConfig::all());
         let mut sink = MemSink::default();
         let w = eng.submit(&mut sink, &TaskSpec::new("w").depend(x, AccessMode::Out));
-        let a = eng.submit(&mut sink, &TaskSpec::new("a").depend(x, AccessMode::InOutSet));
-        let b = eng.submit(&mut sink, &TaskSpec::new("b").depend(x, AccessMode::InOutSet));
+        let a = eng.submit(
+            &mut sink,
+            &TaskSpec::new("a").depend(x, AccessMode::InOutSet),
+        );
+        let b = eng.submit(
+            &mut sink,
+            &TaskSpec::new("b").depend(x, AccessMode::InOutSet),
+        );
         // a and b each depend on w only.
         assert_eq!(sink.edges, vec![(w.0, a.0), (w.0, b.0)]);
     }
@@ -424,7 +443,10 @@ mod tests {
         let (_s, x, _y) = space2();
         let mut eng = DiscoveryEngine::new(OptConfig::all());
         let mut sink = MemSink::default();
-        let a = eng.submit(&mut sink, &TaskSpec::new("a").depend(x, AccessMode::InOutSet));
+        let a = eng.submit(
+            &mut sink,
+            &TaskSpec::new("a").depend(x, AccessMode::InOutSet),
+        );
         let r = eng.submit(&mut sink, &TaskSpec::new("r").depend(x, AccessMode::In));
         assert_eq!(sink.edges, vec![(a.0, r.0)]);
         assert_eq!(eng.stats().redirect_nodes, 0);
@@ -437,7 +459,10 @@ mod tests {
         let mut eng = DiscoveryEngine::new(OptConfig::all());
         let mut sink = MemSink::default();
         for _ in 0..3 {
-            eng.submit(&mut sink, &TaskSpec::new("X").depend(x, AccessMode::InOutSet));
+            eng.submit(
+                &mut sink,
+                &TaskSpec::new("X").depend(x, AccessMode::InOutSet),
+            );
         }
         eng.submit(&mut sink, &TaskSpec::new("r1").depend(x, AccessMode::In));
         eng.submit(&mut sink, &TaskSpec::new("r2").depend(x, AccessMode::In));
@@ -468,9 +493,15 @@ mod tests {
         let x = s.region("x", 64);
         let mut eng = DiscoveryEngine::new(OptConfig::none());
         let mut sink = MemSink::default();
-        let a = eng.submit(&mut sink, &TaskSpec::new("a").depend(x, AccessMode::InOutSet));
+        let a = eng.submit(
+            &mut sink,
+            &TaskSpec::new("a").depend(x, AccessMode::InOutSet),
+        );
         let r = eng.submit(&mut sink, &TaskSpec::new("r").depend(x, AccessMode::In));
-        let b = eng.submit(&mut sink, &TaskSpec::new("b").depend(x, AccessMode::InOutSet));
+        let b = eng.submit(
+            &mut sink,
+            &TaskSpec::new("b").depend(x, AccessMode::InOutSet),
+        );
         // b opens a NEW group ordered after reader r, not joining a's group.
         assert!(sink.edges.contains(&(a.0, r.0)));
         assert!(sink.edges.contains(&(r.0, b.0)));
@@ -515,6 +546,30 @@ mod tests {
         assert!(
             sink.edges.is_empty(),
             "barrier reset removes inter-iteration edges"
+        );
+    }
+
+    #[test]
+    fn reset_clears_duplicate_probe_table() {
+        // With dedup on, discover `w -> r` (edge 0 -> 1), then reset and
+        // replay the same pattern into a fresh sink whose ids restart at 0.
+        // A stale `last_succ[0] == 1` entry would suppress the new graph's
+        // only real edge.
+        let (_s, x, _y) = space2();
+        let mut eng = DiscoveryEngine::new(OptConfig::all());
+        let mut sink = MemSink::default();
+        eng.submit(&mut sink, &TaskSpec::new("w").depend(x, AccessMode::Out));
+        eng.submit(&mut sink, &TaskSpec::new("r").depend(x, AccessMode::In));
+        assert_eq!(sink.edges, vec![(0, 1)]);
+
+        eng.reset_handle_state();
+        let mut sink2 = MemSink::default();
+        eng.submit(&mut sink2, &TaskSpec::new("w").depend(x, AccessMode::Out));
+        eng.submit(&mut sink2, &TaskSpec::new("r").depend(x, AccessMode::In));
+        assert_eq!(
+            sink2.edges,
+            vec![(0, 1)],
+            "probe table from the previous graph must not prune a real edge"
         );
     }
 

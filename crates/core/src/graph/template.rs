@@ -197,8 +197,7 @@ impl GraphTemplate {
     /// redirect node is materialized while resolving its *successor's*
     /// depend list, so it can carry a higher id than that successor.
     pub fn is_topologically_ordered(&self) -> bool {
-        self.ids()
-            .all(|p| self.successors(p).all(|s| s.0 > p.0))
+        self.ids().all(|p| self.successors(p).all(|s| s.0 > p.0))
     }
 
     /// Export the graph in Graphviz DOT format, one node per task
@@ -295,8 +294,14 @@ mod tests {
         let x = s.region("x", 64);
         let mut eng = DiscoveryEngine::new(OptConfig::all());
         let mut rec = TemplateRecorder::new(false);
-        eng.submit(&mut rec, &TaskSpec::new("a").depend(x, AccessMode::InOutSet));
-        eng.submit(&mut rec, &TaskSpec::new("b").depend(x, AccessMode::InOutSet));
+        eng.submit(
+            &mut rec,
+            &TaskSpec::new("a").depend(x, AccessMode::InOutSet),
+        );
+        eng.submit(
+            &mut rec,
+            &TaskSpec::new("b").depend(x, AccessMode::InOutSet),
+        );
         eng.submit(&mut rec, &TaskSpec::new("r").depend(x, AccessMode::In));
         let t = rec.finish();
         assert!(t.is_acyclic());
@@ -324,7 +329,10 @@ mod tests {
         let mut eng = DiscoveryEngine::new(OptConfig::all());
         let mut rec = TemplateRecorder::new(false);
         for _ in 0..3 {
-            eng.submit(&mut rec, &TaskSpec::new("X").depend(x, AccessMode::InOutSet));
+            eng.submit(
+                &mut rec,
+                &TaskSpec::new("X").depend(x, AccessMode::InOutSet),
+            );
         }
         eng.submit(&mut rec, &TaskSpec::new("Y").depend(x, AccessMode::In));
         let t = rec.finish();
@@ -356,7 +364,10 @@ mod tests {
         let mut eng = DiscoveryEngine::new(OptConfig::all());
         let mut rec = TemplateRecorder::new(false);
         for _ in 0..2 {
-            eng.submit(&mut rec, &TaskSpec::new("X").depend(x, AccessMode::InOutSet));
+            eng.submit(
+                &mut rec,
+                &TaskSpec::new("X").depend(x, AccessMode::InOutSet),
+            );
         }
         eng.submit(&mut rec, &TaskSpec::new("Y").depend(x, AccessMode::In));
         let dot = rec.finish().to_dot();

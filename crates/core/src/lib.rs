@@ -81,17 +81,22 @@ pub mod graph;
 pub mod handle;
 pub mod opts;
 pub mod profile;
+pub mod program;
+pub mod rt;
 pub mod task;
-pub mod throttle;
 pub mod workdesc;
+
+// Throttling moved into the runtime kernel; keep the historical path.
+pub use rt::throttle;
 
 pub use access::{AccessMode, Depend};
 pub use builder::{IterationBuilder, TaskSubmitter};
 pub use exec::{ExecConfig, Executor, SchedPolicy, Session};
 pub use handle::{DataHandle, HandleSpace};
 pub use opts::OptConfig;
+pub use program::{Rank, RankProgram};
+pub use rt::{ThrottleConfig, ThrottleGate};
 pub use task::{TaskBody, TaskCtx, TaskId, TaskSpec};
-pub use throttle::ThrottleConfig;
 pub use workdesc::{CommOp, HandleSlice, WorkDesc};
 
 /// Convenience re-exports for application code.
@@ -103,7 +108,8 @@ pub mod prelude {
     pub use crate::graph::{DiscoveryEngine, DiscoveryStats, GraphTemplate};
     pub use crate::handle::{DataHandle, HandleSpace};
     pub use crate::opts::OptConfig;
+    pub use crate::program::{Rank, RankProgram};
+    pub use crate::rt::ThrottleConfig;
     pub use crate::task::{TaskCtx, TaskId, TaskSpec};
-    pub use crate::throttle::ThrottleConfig;
     pub use crate::workdesc::{CommOp, HandleSlice, WorkDesc};
 }

@@ -36,7 +36,8 @@ impl Breakdown {
         let explicit_idle = t.total_ns(SpanKind::Idle);
         let accounted = work_ns + overhead_ns + explicit_idle;
         let capacity = t.span_ns.saturating_mul(t.n_workers as u64);
-        let idle_ns = explicit_idle.max(capacity.saturating_sub(accounted) + explicit_idle)
+        let idle_ns = explicit_idle
+            .max(capacity.saturating_sub(accounted) + explicit_idle)
             .min(capacity.saturating_sub(work_ns + overhead_ns));
         Breakdown {
             work_ns,

@@ -89,7 +89,10 @@ impl Trace {
 
     /// Number of work spans (executed tasks).
     pub fn n_tasks_run(&self) -> usize {
-        self.spans.iter().filter(|s| s.kind == SpanKind::Work).count()
+        self.spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Work)
+            .count()
     }
 
     /// Compute the work/overhead/idle breakdown.
@@ -190,7 +193,12 @@ mod tests {
     #[test]
     fn work_by_name_aggregates_and_sorts() {
         let mut t = Trace::default();
-        for (name, s0, e0) in [("b", 0u64, 10u64), ("a", 0, 30), ("b", 10, 25), ("a", 40, 50)] {
+        for (name, s0, e0) in [
+            ("b", 0u64, 10u64),
+            ("a", 0, 30),
+            ("b", 10, 25),
+            ("a", 40, 50),
+        ] {
             t.push(Span {
                 worker: 0,
                 start_ns: s0,

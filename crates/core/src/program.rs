@@ -1,0 +1,35 @@
+//! The backend-agnostic program abstraction.
+//!
+//! A [`RankProgram`] describes a task-based application as one sequential
+//! task stream per rank per iteration — the analogue of the OpenMP
+//! `single` region of the paper's Listing 1. The same value runs
+//! unmodified on the wall-clock thread executor
+//! ([`crate::exec::run_program`]) and on the discrete-event simulator
+//! (`ptdg_simrt::simulate_tasks`); the back-end is chosen at the call
+//! site, not in application code.
+
+use crate::builder::TaskSubmitter;
+
+/// Rank index.
+pub type Rank = u32;
+
+/// A task-based application: one sequential task stream per rank per
+/// iteration.
+///
+/// Implementations must generate the same task stream for a given
+/// `(rank, iter)` every time they are asked (the simulator may replay), and
+/// the same *dependency scheme* across iterations when run persistently.
+pub trait RankProgram {
+    /// Iterations to run.
+    fn n_iterations(&self) -> u64;
+
+    /// Generate the tasks of `iter` on `rank`.
+    fn build_iteration(&self, rank: Rank, iter: u64, sub: &mut dyn TaskSubmitter);
+
+    /// How many ranks this program spans. Defaults to 1; cost-model
+    /// programs override it, programs carrying real shared-memory state
+    /// stay single-rank (there is no memory transport between ranks).
+    fn n_ranks(&self) -> Rank {
+        1
+    }
+}

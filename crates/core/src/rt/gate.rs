@@ -1,0 +1,82 @@
+//! Hold gate for the paper's *non-overlapped* configuration (Table 1):
+//! ready tasks are withheld until the whole graph is discovered.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// While closed, items offered to the gate are held; [`HoldGate::release`]
+/// opens it and hands back everything held. Once open, offers pass
+/// through untouched.
+pub struct HoldGate<T> {
+    closed: AtomicBool,
+    held: Mutex<Vec<T>>,
+}
+
+impl<T> HoldGate<T> {
+    /// A gate in the given initial state.
+    pub fn new(closed: bool) -> Self {
+        HoldGate {
+            closed: AtomicBool::new(closed),
+            held: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn held(&self) -> std::sync::MutexGuard<'_, Vec<T>> {
+        self.held.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Whether the gate is currently holding items back.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
+    }
+
+    /// Close the gate: subsequent offers are held until `release`.
+    pub fn close(&self) {
+        let _held = self.held();
+        self.closed.store(true, Ordering::SeqCst);
+    }
+
+    /// Offer an item: returns it back if the gate is open, or holds it and
+    /// returns `None`. The closed flag is re-checked under the lock so an
+    /// item can never be stranded behind a concurrent `release`.
+    pub fn offer(&self, item: T) -> Option<T> {
+        if !self.is_closed() {
+            return Some(item);
+        }
+        let mut held = self.held();
+        if self.is_closed() {
+            held.push(item);
+            None
+        } else {
+            Some(item)
+        }
+    }
+
+    /// Open the gate and take everything held.
+    pub fn release(&self) -> Vec<T> {
+        let mut held = self.held();
+        self.closed.store(false, Ordering::SeqCst);
+        std::mem::take(&mut held)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_gate_passes_through() {
+        let g: HoldGate<u32> = HoldGate::new(false);
+        assert_eq!(g.offer(7), Some(7));
+        assert!(g.release().is_empty());
+    }
+
+    #[test]
+    fn closed_gate_holds_until_release() {
+        let g: HoldGate<u32> = HoldGate::new(true);
+        assert_eq!(g.offer(1), None);
+        assert_eq!(g.offer(2), None);
+        assert_eq!(g.release(), vec![1, 2]);
+        assert_eq!(g.offer(3), Some(3), "stays open after release");
+    }
+}

@@ -1,0 +1,208 @@
+//! A live graph instance: the one [`GraphSink`] both back-ends feed to the
+//! [`crate::graph::DiscoveryEngine`].
+//!
+//! `GraphInstance` owns the node table, applies edges (including pruning
+//! against already-completed predecessors), tracks creation counts, and —
+//! when capturing for a persistent region — mirrors every node and edge
+//! into a [`TemplateRecorder`]. Back-ends never materialize nodes or
+//! edges themselves; they only *route* the ready tasks this instance
+//! hands them.
+
+use super::{ReadyTracker, RtNode};
+use crate::graph::{GraphSink, GraphTemplate, TemplateRecorder};
+use crate::task::{TaskId, TaskSpec};
+use std::sync::Arc;
+
+/// Options for a [`GraphInstance`].
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceOptions {
+    /// Retain task bodies (real execution). `false` for cost-model-only
+    /// back-ends — discovery then skips closure allocation entirely.
+    pub want_bodies: bool,
+    /// Retain [`crate::WorkDesc`]s on nodes (cost models need them; the
+    /// wall-clock executor does not).
+    pub keep_work: bool,
+    /// Mirror discovery into a [`TemplateRecorder`] for persistent
+    /// re-instancing. Capture disables pruning *reporting*: the recorder
+    /// must keep every edge for later iterations, so `add_edge` claims
+    /// success even when the live edge was pruned.
+    pub capture: bool,
+}
+
+impl Default for InstanceOptions {
+    fn default() -> Self {
+        InstanceOptions {
+            want_bodies: true,
+            keep_work: false,
+            capture: false,
+        }
+    }
+}
+
+/// The streaming node table one discovery stream writes into.
+pub struct GraphInstance {
+    nodes: Vec<Arc<RtNode>>,
+    newly_ready: Vec<Arc<RtNode>>,
+    tracker: Arc<ReadyTracker>,
+    capture: Option<TemplateRecorder>,
+    opts: InstanceOptions,
+    iter: u64,
+}
+
+impl GraphInstance {
+    /// A fresh instance accounting into `tracker`.
+    pub fn new(tracker: Arc<ReadyTracker>, opts: InstanceOptions) -> Self {
+        GraphInstance {
+            nodes: Vec::new(),
+            newly_ready: Vec::new(),
+            tracker,
+            capture: opts
+                .capture
+                .then(|| TemplateRecorder::new(opts.want_bodies)),
+            opts,
+            iter: 0,
+        }
+    }
+
+    /// Iteration stamped onto subsequently created nodes.
+    pub fn set_iter(&mut self, iter: u64) {
+        self.iter = iter;
+    }
+
+    /// The node for `id`.
+    pub fn node(&self, id: TaskId) -> &Arc<RtNode> {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes created so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Tasks that became ready since the last drain, in seal order. The
+    /// back-end routes them (hold gate, queues) — the instance only
+    /// detects readiness.
+    pub fn drain_ready(&mut self) -> Vec<Arc<RtNode>> {
+        std::mem::take(&mut self.newly_ready)
+    }
+
+    /// Finish a capture, yielding the persistent template. Panics if the
+    /// instance was not created with `capture`.
+    pub fn finish_capture(&mut self) -> GraphTemplate {
+        self.capture
+            .take()
+            .expect("finish_capture requires InstanceOptions::capture")
+            .finish()
+    }
+}
+
+impl GraphSink for GraphInstance {
+    fn add_task(&mut self, spec: &TaskSpec) -> TaskId {
+        let id = TaskId(self.nodes.len() as u32);
+        self.tracker.created(1);
+        self.nodes.push(RtNode::from_spec(
+            id,
+            spec,
+            self.iter,
+            self.opts.want_bodies,
+            self.opts.keep_work,
+        ));
+        if let Some(cap) = &mut self.capture {
+            let mirror = cap.add_task(spec);
+            debug_assert_eq!(mirror, id, "capture mirrors node ids");
+        }
+        id
+    }
+
+    fn add_redirect(&mut self) -> TaskId {
+        let id = TaskId(self.nodes.len() as u32);
+        self.tracker.created(1);
+        self.nodes.push(RtNode::redirect(id, self.iter));
+        if let Some(cap) = &mut self.capture {
+            let mirror = cap.add_redirect();
+            debug_assert_eq!(mirror, id, "capture mirrors node ids");
+        }
+        id
+    }
+
+    fn add_edge(&mut self, pred: TaskId, succ: TaskId) -> bool {
+        let attached = self.nodes[pred.index()].attach_succ(&self.nodes[succ.index()]);
+        if let Some(cap) = &mut self.capture {
+            cap.add_edge(pred, succ);
+            // The template keeps the edge either way; report success so the
+            // engine's dedup table stays consistent with the template.
+            return true;
+        }
+        attached
+    }
+
+    fn seal(&mut self, task: TaskId) {
+        let node = &self.nodes[task.index()];
+        if node.seal() {
+            self.newly_ready.push(Arc::clone(node));
+        }
+    }
+
+    fn wants_bodies(&self) -> bool {
+        self.opts.want_bodies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DiscoveryEngine;
+    use crate::opts::OptConfig;
+    use crate::{AccessMode, HandleSpace};
+
+    fn chain_specs(space: &mut HandleSpace) -> Vec<TaskSpec> {
+        let x = space.region("x", 4096);
+        vec![
+            TaskSpec::new("w").depend(x, AccessMode::Out),
+            TaskSpec::new("r1").depend(x, AccessMode::In),
+            TaskSpec::new("r2").depend(x, AccessMode::In),
+        ]
+    }
+
+    #[test]
+    fn discovery_builds_nodes_and_readiness() {
+        let mut space = HandleSpace::new();
+        let tracker = Arc::new(ReadyTracker::new());
+        let mut inst = GraphInstance::new(Arc::clone(&tracker), InstanceOptions::default());
+        let mut engine = DiscoveryEngine::new(OptConfig::all());
+        for spec in chain_specs(&mut space) {
+            engine.submit(&mut inst, &spec);
+        }
+        assert_eq!(inst.len(), 3);
+        assert_eq!(tracker.live(), 3);
+        let ready = inst.drain_ready();
+        assert_eq!(ready.len(), 1, "only the writer is ready");
+        assert_eq!(ready[0].name, "w");
+        let done = ready[0].complete();
+        assert_eq!(done.ready.len(), 2, "both readers released");
+    }
+
+    #[test]
+    fn capture_mirrors_the_stream() {
+        let mut space = HandleSpace::new();
+        let tracker = Arc::new(ReadyTracker::new());
+        let mut inst = GraphInstance::new(
+            tracker,
+            InstanceOptions {
+                capture: true,
+                ..InstanceOptions::default()
+            },
+        );
+        let mut engine = DiscoveryEngine::new(OptConfig::all());
+        for spec in chain_specs(&mut space) {
+            engine.submit(&mut inst, &spec);
+        }
+        let tmpl = inst.finish_capture();
+        assert_eq!(tmpl.n_tasks(), 3);
+        assert_eq!(tmpl.n_edges(), 2);
+    }
+}

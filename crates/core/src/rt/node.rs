@@ -1,0 +1,304 @@
+//! Live task nodes: the kernel's readiness state machine.
+//!
+//! An [`RtNode`] is one instantiated task. Its `pending` counter holds the
+//! number of unsatisfied predecessors **plus one creation token** owned by
+//! the producer until the node is sealed (all its edges added). The
+//! decrement-on-complete transition — the heart of dependent-task
+//! readiness — lives *only* here; back-ends never touch in-degree
+//! counters themselves.
+
+use crate::task::{TaskBody, TaskId, TaskSpec};
+use crate::workdesc::{CommOp, WorkDesc};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Mutable graph-side state of a node, guarded by one small lock.
+///
+/// The lock serializes the completion of the predecessor against the
+/// producer attaching new successor edges — the race that makes edge
+/// *pruning* well-defined: an edge requested after completion is pruned.
+#[derive(Default)]
+struct NodeLinks {
+    /// Streaming successors to release on completion (taken exactly once).
+    succs: Vec<Arc<RtNode>>,
+    /// Whether the task has completed (this iteration).
+    completed: bool,
+}
+
+/// Result of completing a node.
+#[derive(Default)]
+pub struct Completion {
+    /// Successors that became ready (their last predecessor was this node).
+    pub ready: Vec<Arc<RtNode>>,
+    /// Total successor releases performed (streaming + persistent) — the
+    /// quantity cost models charge per completion.
+    pub released: usize,
+}
+
+/// A live task instance, shared by the thread executor and the DES
+/// simulator.
+pub struct RtNode {
+    /// Dense id within its graph instance.
+    pub id: TaskId,
+    /// Task name (profiling).
+    pub name: &'static str,
+    /// Body to run (None for redirect or cost-model-only nodes).
+    pub body: Option<TaskBody>,
+    /// Communication side effect (detached-task semantics).
+    pub comm: Option<CommOp>,
+    /// Cost-model description, kept when the instance is configured to
+    /// retain it (virtual-time back-end).
+    pub work: Option<WorkDesc>,
+    /// Firstprivate payload size (the persistent re-instance memcpy).
+    pub fp_bytes: u32,
+    /// Whether this is an optimization-(c) redirect node.
+    pub is_redirect: bool,
+    /// Predecessors not yet completed, plus one creation/visibility token.
+    pending: AtomicU32,
+    /// Streaming links + completion flag.
+    links: Mutex<NodeLinks>,
+    /// Current iteration (the firstprivate payload a persistent
+    /// re-instance rewrites).
+    pub iter: AtomicU64,
+    /// Successor list of an instanced persistent node. Set once when the
+    /// captured template is instanced; unlike streaming edges these
+    /// survive completion, so re-instancing allocates nothing.
+    persistent_succs: OnceLock<Vec<Arc<RtNode>>>,
+}
+
+impl RtNode {
+    /// A new application-task node holding its creation token.
+    pub fn from_spec(
+        id: TaskId,
+        spec: &TaskSpec,
+        iter: u64,
+        want_bodies: bool,
+        keep_work: bool,
+    ) -> Arc<RtNode> {
+        Arc::new(RtNode {
+            id,
+            name: spec.name,
+            body: if want_bodies { spec.body.clone() } else { None },
+            comm: spec.comm,
+            work: keep_work.then(|| spec.work.clone()),
+            fp_bytes: spec.fp_bytes,
+            is_redirect: false,
+            pending: AtomicU32::new(1), // creation token
+            links: Mutex::new(NodeLinks::default()),
+            iter: AtomicU64::new(iter),
+            persistent_succs: OnceLock::new(),
+        })
+    }
+
+    /// A bare node (redirects, tests, persistent instancing).
+    pub fn bare(id: TaskId, name: &'static str, body: Option<TaskBody>, iter: u64) -> Arc<RtNode> {
+        Arc::new(RtNode {
+            id,
+            name,
+            body,
+            comm: None,
+            work: None,
+            fp_bytes: 0,
+            is_redirect: false,
+            pending: AtomicU32::new(1),
+            links: Mutex::new(NodeLinks::default()),
+            iter: AtomicU64::new(iter),
+            persistent_succs: OnceLock::new(),
+        })
+    }
+
+    /// A node instanced from a captured template node (persistent graphs).
+    pub(crate) fn from_template(
+        id: TaskId,
+        tn: &crate::graph::TemplateNode,
+        keep_work: bool,
+    ) -> Arc<RtNode> {
+        Arc::new(RtNode {
+            id,
+            name: tn.name,
+            body: tn.body.clone(),
+            comm: tn.comm,
+            work: keep_work.then(|| tn.work.clone()),
+            fp_bytes: tn.fp_bytes,
+            is_redirect: tn.is_redirect,
+            pending: AtomicU32::new(1),
+            links: Mutex::new(NodeLinks::default()),
+            iter: AtomicU64::new(0),
+            persistent_succs: OnceLock::new(),
+        })
+    }
+
+    /// An empty redirect node (optimization (c)).
+    pub fn redirect(id: TaskId, iter: u64) -> Arc<RtNode> {
+        let mut n = RtNode::bare(id, "<redirect>", None, iter);
+        Arc::get_mut(&mut n).expect("fresh node").is_redirect = true;
+        n
+    }
+
+    fn links(&self) -> MutexGuard<'_, NodeLinks> {
+        // A poisoned lock means a panic inside the short critical section
+        // below, never inside a task body; the state is still consistent.
+        self.links.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Current pending count (tests / diagnostics).
+    pub fn pending(&self) -> u32 {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Set the persistent successor list (once, at template instancing).
+    pub(crate) fn set_persistent_succs(&self, succs: Vec<Arc<RtNode>>) {
+        self.persistent_succs
+            .set(succs)
+            .ok()
+            .expect("persistent successors are instanced once");
+    }
+
+    /// Count of successors a completion would release right now.
+    pub fn succ_count(&self) -> usize {
+        let streaming = self.links().succs.len();
+        streaming + self.persistent_succs.get().map_or(0, |s| s.len())
+    }
+
+    /// Reset an instanced persistent node for a new iteration: restore its
+    /// dependence counter (plus one *visibility token*, dropped by
+    /// [`super::PersistentInstance::publish`]) and rewrite its firstprivate
+    /// payload — the paper's "single memcpy" re-instance cost.
+    pub(crate) fn reset_for_iteration(&self, indegree: u32, iter: u64) {
+        self.links().completed = false;
+        self.pending.store(indegree + 1, Ordering::SeqCst);
+        self.iter.store(iter, Ordering::SeqCst);
+    }
+
+    /// Attach an edge `self -> succ`, unless `self` already completed.
+    /// Returns whether the edge was created.
+    pub fn attach_succ(self: &Arc<RtNode>, succ: &Arc<RtNode>) -> bool {
+        let mut links = self.links();
+        if links.completed {
+            return false; // pruned
+        }
+        succ.pending.fetch_add(1, Ordering::SeqCst);
+        links.succs.push(Arc::clone(succ));
+        true
+    }
+
+    /// Drop the creation (or visibility) token; returns `true` if the node
+    /// became ready.
+    pub fn seal(&self) -> bool {
+        self.pending.fetch_sub(1, Ordering::SeqCst) == 1
+    }
+
+    /// Mark completed and release every successor — streaming edges
+    /// (consumed) then persistent ones (reusable). Returns the successors
+    /// that became ready, plus the number of releases performed.
+    pub fn complete(&self) -> Completion {
+        let taken = {
+            let mut links = self.links();
+            links.completed = true;
+            std::mem::take(&mut links.succs)
+        };
+        let mut out = Completion {
+            ready: Vec::new(),
+            released: taken.len(),
+        };
+        for succ in taken {
+            if succ.seal() {
+                out.ready.push(succ);
+            }
+        }
+        if let Some(persistent) = self.persistent_succs.get() {
+            out.released += persistent.len();
+            for succ in persistent {
+                if succ.seal() {
+                    out.ready.push(Arc::clone(succ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creation_token_prevents_premature_ready() {
+        let a = RtNode::bare(TaskId(0), "a", None, 0);
+        let b = RtNode::bare(TaskId(1), "b", None, 0);
+        assert!(a.attach_succ(&b));
+        // b has token + 1 pred = 2 pending; sealing only drops the token.
+        assert!(!b.seal());
+        let done = a.complete();
+        assert_eq!(done.released, 1);
+        assert_eq!(done.ready.len(), 1, "b ready after its only pred");
+        assert_eq!(done.ready[0].id, TaskId(1));
+    }
+
+    #[test]
+    fn edge_to_completed_node_is_pruned() {
+        let a = RtNode::bare(TaskId(0), "a", None, 0);
+        let b = RtNode::bare(TaskId(1), "b", None, 0);
+        a.complete();
+        assert!(!a.attach_succ(&b));
+        assert!(b.seal(), "b is a root: ready on seal");
+    }
+
+    #[test]
+    fn root_ready_on_seal() {
+        let a = RtNode::bare(TaskId(0), "a", None, 0);
+        assert!(a.seal());
+    }
+
+    #[test]
+    fn multiple_preds_release_in_any_order() {
+        let p1 = RtNode::bare(TaskId(0), "p1", None, 0);
+        let p2 = RtNode::bare(TaskId(1), "p2", None, 0);
+        let s = RtNode::bare(TaskId(2), "s", None, 0);
+        p1.attach_succ(&s);
+        p2.attach_succ(&s);
+        assert!(!s.seal());
+        assert!(p2.complete().ready.is_empty());
+        let done = p1.complete();
+        assert_eq!(done.ready.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_require_duplicate_releases() {
+        // Without optimization (b), the same (pred, succ) pair may carry
+        // two edges; correctness demands both be released.
+        let p = RtNode::bare(TaskId(0), "p", None, 0);
+        let s = RtNode::bare(TaskId(1), "s", None, 0);
+        p.attach_succ(&s);
+        p.attach_succ(&s);
+        s.seal();
+        let done = p.complete();
+        assert_eq!(done.released, 2);
+        assert_eq!(
+            done.ready.len(),
+            1,
+            "ready exactly once, on the last release"
+        );
+    }
+
+    #[test]
+    fn persistent_succs_survive_completion() {
+        let p = RtNode::bare(TaskId(0), "p", None, 0);
+        let s = RtNode::bare(TaskId(1), "s", None, 0);
+        p.set_persistent_succs(vec![Arc::clone(&s)]);
+        p.reset_for_iteration(0, 1);
+        s.reset_for_iteration(1, 1);
+        // publish: drop visibility tokens
+        assert!(p.seal());
+        assert!(!s.seal());
+        let d1 = p.complete();
+        assert_eq!(d1.ready.len(), 1);
+        // next iteration: same links, no reallocation
+        p.reset_for_iteration(0, 2);
+        s.reset_for_iteration(1, 2);
+        assert!(p.seal());
+        assert!(!s.seal());
+        let d2 = p.complete();
+        assert_eq!(d2.ready.len(), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Unified profiling hooks for the runtime kernel.
+//!
+//! Both back-ends report the same task-lifecycle events through one
+//! [`RtProbe`]; the wall-clock executor timestamps them itself, the
+//! simulator stamps them with virtual time. Either way the result is a
+//! [`crate::profile::Trace`] fed to one analysis pipeline.
+
+use crate::profile::{Span, Trace};
+use crate::task::TaskId;
+use std::sync::Mutex;
+
+/// Observer of kernel-level task events. All hooks default to no-ops so a
+/// backend only implements what it measures.
+pub trait RtProbe: Send + Sync {
+    /// A task was created by discovery or re-instancing.
+    fn task_created(&self, _id: TaskId) {}
+    /// A task's last dependence was satisfied.
+    fn task_ready(&self, _id: TaskId) {}
+    /// A task was handed to a core.
+    fn task_scheduled(&self, _id: TaskId, _core: usize) {}
+    /// A task finished.
+    fn task_completed(&self, _id: TaskId, _core: usize) {}
+    /// A communication operation was posted (detached task).
+    fn comm_posted(&self, _id: TaskId) {}
+    /// A timed span was measured on a lane.
+    fn span(&self, _span: Span) {}
+}
+
+/// The probe that measures nothing.
+#[derive(Default, Clone, Copy)]
+pub struct NullProbe;
+
+impl RtProbe for NullProbe {}
+
+/// A probe that collects [`Span`]s into per-lane buffers (lane =
+/// worker/core index, plus one extra lane for the producer).
+pub struct SpanCollector {
+    bufs: Vec<Mutex<Vec<Span>>>,
+}
+
+impl SpanCollector {
+    /// A collector with `lanes` buffers.
+    pub fn new(lanes: usize) -> Self {
+        SpanCollector {
+            bufs: (0..lanes).map(|_| Mutex::new(Vec::new())).collect(),
+        }
+    }
+
+    /// All collected spans, unordered (virtual-time back-end: timestamps
+    /// are already zero-based).
+    pub fn take_spans(&self) -> Vec<Span> {
+        let mut all = Vec::new();
+        for b in &self.bufs {
+            all.append(&mut b.lock().unwrap_or_else(|e| e.into_inner()));
+        }
+        all
+    }
+
+    /// Build a [`Trace`], rebasing all timestamps so the earliest span
+    /// starts at zero (wall-clock back-end: spans carry `Instant`-derived
+    /// offsets from an arbitrary origin).
+    pub fn take_trace(&self, n_workers: usize, discovery_ns: u64) -> Trace {
+        let mut spans = self.take_spans();
+        let t_min = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+        let t_max = spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
+        for s in &mut spans {
+            s.start_ns -= t_min;
+            s.end_ns -= t_min;
+        }
+        Trace {
+            spans,
+            n_workers,
+            discovery_ns,
+            span_ns: t_max - t_min,
+        }
+    }
+}
+
+impl RtProbe for SpanCollector {
+    fn span(&self, span: Span) {
+        let lane = (span.worker as usize).min(self.bufs.len().saturating_sub(1));
+        self.bufs[lane]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::SpanKind;
+
+    #[test]
+    fn collector_rebases_trace() {
+        let c = SpanCollector::new(2);
+        c.span(Span {
+            worker: 0,
+            start_ns: 1_000,
+            end_ns: 1_500,
+            kind: SpanKind::Work,
+            name: "a",
+            iter: 0,
+        });
+        c.span(Span {
+            worker: 1,
+            start_ns: 1_200,
+            end_ns: 2_000,
+            kind: SpanKind::Work,
+            name: "b",
+            iter: 0,
+        });
+        let t = c.take_trace(2, 42);
+        assert_eq!(t.span_ns, 1_000);
+        assert_eq!(t.discovery_ns, 42);
+        assert_eq!(t.spans.iter().map(|s| s.start_ns).min(), Some(0));
+    }
+}

@@ -1,0 +1,146 @@
+//! Ready-task queues implementing the paper's two scheduling heuristics.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Scheduling heuristic for ready tasks (paper §2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SchedPolicy {
+    /// Newly-ready successors go to the completing core's local LIFO deque
+    /// (data-reuse locality); other cores steal from the FIFO end.
+    #[default]
+    DepthFirst,
+    /// One global FIFO queue: tasks run roughly in discovery order.
+    BreadthFirst,
+}
+
+/// Per-core local deques plus a global queue, policy-driven. The thread
+/// executor stores `Arc<RtNode>`; the simulator stores node indices —
+/// the *placement and steal order* is the shared policy, the element type
+/// is not.
+pub struct ReadyQueues<T> {
+    policy: SchedPolicy,
+    global: Mutex<VecDeque<T>>,
+    local: Vec<Mutex<VecDeque<T>>>,
+}
+
+impl<T> ReadyQueues<T> {
+    /// Queues for `n_cores` cores under `policy`.
+    pub fn new(policy: SchedPolicy, n_cores: usize) -> Self {
+        ReadyQueues {
+            policy,
+            global: Mutex::new(VecDeque::new()),
+            local: (0..n_cores).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    pub fn policy(&self) -> SchedPolicy {
+        self.policy
+    }
+
+    fn lock<'a>(m: &'a Mutex<VecDeque<T>>) -> std::sync::MutexGuard<'a, VecDeque<T>> {
+        m.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueue a ready task. Under depth-first, a task made ready by core
+    /// `local` lands on that core's deque (LIFO side); everything else —
+    /// breadth-first, or producer-made-ready tasks — goes to the global
+    /// FIFO.
+    pub fn push(&self, item: T, local: Option<usize>) {
+        match (self.policy, local) {
+            (SchedPolicy::DepthFirst, Some(c)) if c < self.local.len() => {
+                Self::lock(&self.local[c]).push_back(item);
+            }
+            _ => Self::lock(&self.global).push_back(item),
+        }
+    }
+
+    /// Dequeue for core `worker`. Returns the task and whether it was
+    /// *stolen* from another core's deque (the simulator charges a steal
+    /// penalty). Depth-first order: own deque LIFO, then global FIFO, then
+    /// round-robin steal from other cores' FIFO ends.
+    pub fn pop(&self, worker: Option<usize>) -> Option<(T, bool)> {
+        if self.policy == SchedPolicy::DepthFirst {
+            if let Some(w) = worker {
+                if w < self.local.len() {
+                    if let Some(item) = Self::lock(&self.local[w]).pop_back() {
+                        return Some((item, false));
+                    }
+                }
+            }
+        }
+        if let Some(item) = Self::lock(&self.global).pop_front() {
+            return Some((item, false));
+        }
+        if self.policy == SchedPolicy::DepthFirst {
+            let n = self.local.len();
+            let start = worker.map_or(0, |w| w + 1);
+            for i in 0..n {
+                let victim = (start + i) % n;
+                if Some(victim) == worker {
+                    continue;
+                }
+                if let Some(item) = Self::lock(&self.local[victim]).pop_front() {
+                    return Some((item, true));
+                }
+            }
+        }
+        None
+    }
+
+    /// Total queued tasks (diagnostics).
+    pub fn len(&self) -> usize {
+        let mut n = Self::lock(&self.global).len();
+        for l in &self.local {
+            n += Self::lock(l).len();
+        }
+        n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_first_local_is_lifo() {
+        let q = ReadyQueues::new(SchedPolicy::DepthFirst, 2);
+        q.push(1, Some(0));
+        q.push(2, Some(0));
+        assert_eq!(q.pop(Some(0)), Some((2, false)));
+        assert_eq!(q.pop(Some(0)), Some((1, false)));
+        assert_eq!(q.pop(Some(0)), None);
+    }
+
+    #[test]
+    fn depth_first_steals_fifo_side() {
+        let q = ReadyQueues::new(SchedPolicy::DepthFirst, 2);
+        q.push(1, Some(0));
+        q.push(2, Some(0));
+        assert_eq!(q.pop(Some(1)), Some((1, true)), "steal oldest");
+    }
+
+    #[test]
+    fn global_before_steal() {
+        let q = ReadyQueues::new(SchedPolicy::DepthFirst, 2);
+        q.push(1, Some(0));
+        q.push(9, None);
+        assert_eq!(q.pop(Some(1)), Some((9, false)), "global FIFO first");
+        assert_eq!(q.pop(Some(1)), Some((1, true)));
+    }
+
+    #[test]
+    fn breadth_first_is_one_fifo() {
+        let q = ReadyQueues::new(SchedPolicy::BreadthFirst, 4);
+        q.push(1, Some(3));
+        q.push(2, Some(0));
+        q.push(3, None);
+        assert_eq!(q.pop(Some(2)), Some((1, false)));
+        assert_eq!(q.pop(None), Some((2, false)));
+        assert_eq!(q.pop(Some(0)), Some((3, false)));
+    }
+}

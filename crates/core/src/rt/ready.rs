@@ -1,0 +1,76 @@
+//! Live/ready task accounting shared by both back-ends.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts of live (created, not completed) and ready (runnable, not
+/// scheduled) tasks. Both back-ends drive their throttle and barrier
+/// decisions off this one tracker, so the thresholds mean the same thing
+/// in wall-clock and virtual time.
+#[derive(Default)]
+pub struct ReadyTracker {
+    live: AtomicUsize,
+    ready: AtomicUsize,
+}
+
+impl ReadyTracker {
+    pub fn new() -> Self {
+        ReadyTracker::default()
+    }
+
+    /// `n` tasks were created (discovery or re-instancing).
+    pub fn created(&self, n: usize) {
+        self.live.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// A task became ready.
+    pub fn became_ready(&self) {
+        self.ready.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A ready task was handed to a core.
+    pub fn scheduled(&self) {
+        self.ready.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// A task finished; returns `true` if it was the last live task.
+    pub fn completed(&self) -> bool {
+        self.live.fetch_sub(1, Ordering::SeqCst) == 1
+    }
+
+    /// Current live count.
+    pub fn live(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    /// Current ready count.
+    pub fn ready(&self) -> usize {
+        self.ready.load(Ordering::SeqCst)
+    }
+
+    /// No live tasks remain.
+    pub fn quiescent(&self) -> bool {
+        self.live() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_counts() {
+        let t = ReadyTracker::new();
+        t.created(3);
+        assert_eq!(t.live(), 3);
+        t.became_ready();
+        t.became_ready();
+        assert_eq!(t.ready(), 2);
+        t.scheduled();
+        assert_eq!(t.ready(), 1);
+        assert!(!t.completed());
+        assert!(!t.completed());
+        t.scheduled();
+        assert!(t.completed());
+        assert!(t.quiescent());
+    }
+}

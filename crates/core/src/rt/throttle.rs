@@ -8,6 +8,8 @@
 //! yet ready. A tight ready-task bound cripples the depth-first scheduler's
 //! vision of the graph — the ablation harness measures exactly that.
 
+use super::ReadyTracker;
+
 /// Throttling thresholds for an executor.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ThrottleConfig {
@@ -59,6 +61,29 @@ impl Default for ThrottleConfig {
     }
 }
 
+/// A [`ThrottleConfig`] bound to a [`ReadyTracker`]: the producer-side
+/// decision point both back-ends consult before discovering more tasks.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThrottleGate {
+    cfg: ThrottleConfig,
+}
+
+impl ThrottleGate {
+    pub fn new(cfg: ThrottleConfig) -> Self {
+        ThrottleGate { cfg }
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> ThrottleConfig {
+        self.cfg
+    }
+
+    /// Whether the producer must consume instead of produce right now.
+    pub fn should_help(&self, tracker: &ReadyTracker) -> bool {
+        self.cfg.should_help(tracker.ready(), tracker.live())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +116,16 @@ mod tests {
         let t = ThrottleConfig::default();
         assert_eq!(t.max_live, Some(10_000_000));
         assert_eq!(t.max_ready, None);
+    }
+
+    #[test]
+    fn gate_reads_tracker() {
+        let gate = ThrottleGate::new(ThrottleConfig::ready_bound(1));
+        let tracker = ReadyTracker::new();
+        assert!(!gate.should_help(&tracker));
+        tracker.created(2);
+        tracker.became_ready();
+        tracker.became_ready();
+        assert!(gate.should_help(&tracker));
     }
 }

@@ -15,7 +15,9 @@ fn main() {
     let mut nx = 10usize;
     let mut iters = 25u64;
     let mut tpl = 16usize;
-    let mut workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
     while k < argv.len() {

@@ -99,7 +99,11 @@ impl BspProgram for HpcgBsp {
         v.push(BspPhase::Loop {
             name: "SpMV",
             flops: n * F_SPMV,
-            footprint: vec![self.whole(self.p), self.whole(self.ap), self.whole(self.matrix)],
+            footprint: vec![
+                self.whole(self.p),
+                self.whole(self.ap),
+                self.whole(self.matrix),
+            ],
         });
         v.push(BspPhase::Loop {
             name: "DotPAp",

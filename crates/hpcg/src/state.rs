@@ -275,10 +275,7 @@ mod tests {
             st.sequential_iteration(4);
         }
         let r_end = st.residual();
-        assert!(
-            r_end < r0 * 1e-6,
-            "CG must converge: {r0} -> {r_end}"
-        );
+        assert!(r_end < r0 * 1e-6, "CG must converge: {r0} -> {r_end}");
         // bookkeeping matches the true residual
         let tr = st.true_residual();
         assert!((tr - r_end).abs() < 1e-6 * r0.max(1.0));

@@ -79,6 +79,10 @@ impl RankProgram for HpcgTask {
         self.cfg.iterations
     }
 
+    fn n_ranks(&self) -> Rank {
+        self.cfg.n_ranks()
+    }
+
     fn build_iteration(&self, rank: Rank, _iter: u64, sub: &mut dyn TaskSubmitter) {
         use AccessMode::*;
         let h = &self.handles;
@@ -104,30 +108,26 @@ impl RankProgram for HpcgTask {
                     _ => (0, n),
                 };
                 let (s0, s1) = h.blocks_overlapping(fa, fb.max(fa + 1));
-                sub.submit(
-                    TaskSpec::new("MPI_Irecv")
-                        .depend(h.rbuf[dir], Out)
-                        .comm(CommOp::Irecv {
-                            peer,
-                            bytes,
-                            tag: (dir ^ 1) as u32,
-                        }),
-                );
+                sub.submit(TaskSpec::new("MPI_Irecv").depend(h.rbuf[dir], Out).comm(
+                    CommOp::Irecv {
+                        peer,
+                        bytes,
+                        tag: (dir ^ 1) as u32,
+                    },
+                ));
                 let mut deps: Vec<Depend> = (s0..=s1).map(|i| Depend::read(h.p[i])).collect();
                 deps.push(Depend::write(h.sbuf[dir]));
                 sub.submit(TaskSpec::new("PackHalo").depends(deps).work(WorkDesc {
                     flops: bytes as f64 / 8.0,
                     footprint: vec![whole(h.sbuf[dir])],
                 }));
-                sub.submit(
-                    TaskSpec::new("MPI_Isend")
-                        .depend(h.sbuf[dir], In)
-                        .comm(CommOp::Isend {
-                            peer,
-                            bytes,
-                            tag: dir as u32,
-                        }),
-                );
+                sub.submit(TaskSpec::new("MPI_Isend").depend(h.sbuf[dir], In).comm(
+                    CommOp::Isend {
+                        peer,
+                        bytes,
+                        tag: dir as u32,
+                    },
+                ));
                 let mut deps = vec![Depend::read(h.rbuf[dir])];
                 deps.extend((s0..=s1).map(|i| Depend::new(h.p[i], InOut)));
                 sub.submit(TaskSpec::new("UnpackHalo").depends(deps).work(WorkDesc {

@@ -27,13 +27,15 @@ fn parse() -> Result<Args, String> {
         s: 10,
         i: 10,
         tel: 24,
-        workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
         parallel_for: false,
         persistent: true,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
-    let mut next = |k: &mut usize| -> Result<usize, String> {
+    let next = |k: &mut usize| -> Result<usize, String> {
         *k += 1;
         argv.get(*k)
             .ok_or_else(|| format!("missing value after {}", argv[*k - 1]))?
@@ -49,11 +51,9 @@ fn parse() -> Result<Args, String> {
             "--parallel-for" => args.parallel_for = true,
             "--no-persistent" => args.persistent = false,
             "-h" | "--help" => {
-                return Err(
-                    "usage: lulesh [-s edge] [-i iters] [-tel tasks-per-loop] \
+                return Err("usage: lulesh [-s edge] [-i iters] [-tel tasks-per-loop] \
                      [-t workers] [--parallel-for] [--no-persistent]"
-                        .into(),
-                )
+                    .into())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
         }

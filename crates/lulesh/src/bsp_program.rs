@@ -271,9 +271,7 @@ mod tests {
         let p = LuleshBsp::new(LuleshConfig::single(8, 2, 16));
         let phases = p.phases(0, 0);
         assert_eq!(phases.len(), 13);
-        assert!(phases
-            .iter()
-            .all(|ph| matches!(ph, BspPhase::Loop { .. })));
+        assert!(phases.iter().all(|ph| matches!(ph, BspPhase::Loop { .. })));
     }
 
     #[test]
@@ -306,7 +304,11 @@ mod tests {
         let mut recvs = Vec::new();
         for r in 0..8u32 {
             for ph in p.phases(r, 0) {
-                if let BspPhase::Exchange { sends: s, recvs: rc } = ph {
+                if let BspPhase::Exchange {
+                    sends: s,
+                    recvs: rc,
+                } = ph
+                {
                     for (peer, bytes, tag) in s {
                         sends.push((r, peer, tag, bytes));
                     }

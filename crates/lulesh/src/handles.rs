@@ -136,14 +136,20 @@ impl LuleshHandles {
             .iter()
             .map(|&(dx, dy, dz)| {
                 let axes = (dx != 0) as usize + (dy != 0) as usize + (dz != 0) as usize;
-                space.region("sbuf", RankGrid::message_bytes(cfg.s, axes, EXCHANGE_FIELDS))
+                space.region(
+                    "sbuf",
+                    RankGrid::message_bytes(cfg.s, axes, EXCHANGE_FIELDS),
+                )
             })
             .collect();
         let rbuf = dirs
             .iter()
             .map(|&(dx, dy, dz)| {
                 let axes = (dx != 0) as usize + (dy != 0) as usize + (dz != 0) as usize;
-                space.region("rbuf", RankGrid::message_bytes(cfg.s, axes, EXCHANGE_FIELDS))
+                space.region(
+                    "rbuf",
+                    RankGrid::message_bytes(cfg.s, axes, EXCHANGE_FIELDS),
+                )
             })
             .collect();
         let fence = space.region("fence", 8);

@@ -65,9 +65,7 @@ impl Mesh {
 pub fn slices(n: usize, k: usize) -> Vec<(usize, usize)> {
     assert!(k >= 1);
     let k = k.min(n.max(1));
-    (0..k)
-        .map(|i| (n * i / k, n * (i + 1) / k))
-        .collect()
+    (0..k).map(|i| (n * i / k, n * (i + 1) / k)).collect()
 }
 
 /// Indices of the slices of `ranges` (from [`slices`]) that intersect

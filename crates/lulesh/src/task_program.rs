@@ -114,6 +114,10 @@ impl RankProgram for LuleshTask {
         self.cfg.iterations
     }
 
+    fn n_ranks(&self) -> Rank {
+        self.cfg.n_ranks()
+    }
+
     fn build_iteration(&self, rank: Rank, _iter: u64, sub: &mut dyn TaskSubmitter) {
         use AccessMode::*;
         let h = &self.handles;
@@ -201,7 +205,13 @@ impl RankProgram for LuleshTask {
                 .collect();
             fp.extend(gfp(&h.force[i]));
             fp.extend(gfp(&h.pos[i]));
-            fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 4, a.min(h.n_elems - 1), b.min(h.n_elems)));
+            fp.extend(h.tmp_footprint(
+                h.tmp_elem,
+                h.n_elems,
+                4,
+                a.min(h.n_elems - 1),
+                b.min(h.n_elems),
+            ));
             fp.extend(h.tmp_footprint(h.tmp_node, h.n_nodes, 2, a, b));
             let mut spec = TaskSpec::new("CalcFBHourglassForceForElems")
                 .depends(deps)
@@ -287,7 +297,11 @@ impl RankProgram for LuleshTask {
                 deps.extend(Self::deps_group(&h.pos[i], AccessMode::InOut));
                 deps.extend(Self::deps_group(&h.vel[i], AccessMode::InOut));
             }
-            sub.submit(TaskSpec::new("taskwait").depends(deps).work(WorkDesc::compute(0.0)));
+            sub.submit(
+                TaskSpec::new("taskwait")
+                    .depends(deps)
+                    .work(WorkDesc::compute(0.0)),
+            );
         }
 
         // Frontier exchange with the 26 neighbors.
@@ -299,15 +313,13 @@ impl RankProgram for LuleshTask {
                 let (s0, s1) = overlapping_slices(&h.node_slices, fa, fb);
                 // Receive: the buffer write-dependence orders it after the
                 // previous iteration's unpack (WAR through rbuf).
-                sub.submit(
-                    TaskSpec::new("MPI_Irecv")
-                        .depend(h.rbuf[dir], Out)
-                        .comm(CommOp::Irecv {
-                            peer: nb.rank,
-                            bytes,
-                            tag: RankGrid::opposite(dir) as u32,
-                        }),
-                );
+                sub.submit(TaskSpec::new("MPI_Irecv").depend(h.rbuf[dir], Out).comm(
+                    CommOp::Irecv {
+                        peer: nb.rank,
+                        bytes,
+                        tag: RankGrid::opposite(dir) as u32,
+                    },
+                ));
                 // Pack frontier values (positions, velocities and the
                 // boundary forces — the second reader of the force
                 // inoutset groups, where optimization (c) pays off).
@@ -327,15 +339,13 @@ impl RankProgram for LuleshTask {
                         })
                         .firstprivate_bytes(48),
                 );
-                sub.submit(
-                    TaskSpec::new("MPI_Isend")
-                        .depend(h.sbuf[dir], In)
-                        .comm(CommOp::Isend {
-                            peer: nb.rank,
-                            bytes,
-                            tag: dir as u32,
-                        }),
-                );
+                sub.submit(TaskSpec::new("MPI_Isend").depend(h.sbuf[dir], In).comm(
+                    CommOp::Isend {
+                        peer: nb.rank,
+                        bytes,
+                        tag: dir as u32,
+                    },
+                ));
                 // Unpack into the frontier slices.
                 let mut deps = vec![Depend::read(h.rbuf[dir])];
                 for i in s0..=s1 {
@@ -360,7 +370,11 @@ impl RankProgram for LuleshTask {
                 deps.extend(Self::deps_group(&h.pos[i], AccessMode::InOut));
                 deps.extend(Self::deps_group(&h.vel[i], AccessMode::InOut));
             }
-            sub.submit(TaskSpec::new("taskwait").depends(deps).work(WorkDesc::compute(0.0)));
+            sub.submit(
+                TaskSpec::new("taskwait")
+                    .depends(deps)
+                    .work(WorkDesc::compute(0.0)),
+            );
         }
 
         // 6. kinematics: element volumes from the updated positions.
@@ -472,10 +486,12 @@ impl RankProgram for LuleshTask {
             fp.extend(gfp(&h.epass[i]));
             fp.extend(gfp(&h.eos[i]));
             fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 2, a, b));
-            let mut spec = TaskSpec::new("EvalEOSForElems").depends(deps).work(WorkDesc {
-                flops: (b - a) as f64 * F_EOS,
-                footprint: fp,
-            });
+            let mut spec = TaskSpec::new("EvalEOSForElems")
+                .depends(deps)
+                .work(WorkDesc {
+                    flops: (b - a) as f64 * F_EOS,
+                    footprint: fp,
+                });
             if want {
                 let st = self.state.clone().unwrap();
                 spec = spec.body(move |_| st.k_eos(a..b));
@@ -559,7 +575,11 @@ mod tests {
         assert_eq!(comm_tasks, 7 * 4);
         // the dt task became a collective
         assert!(c.specs[0].comm.is_some());
-        let isends = c.specs.iter().filter(|s| matches!(s.comm, Some(CommOp::Isend { .. }))).count();
+        let isends = c
+            .specs
+            .iter()
+            .filter(|s| matches!(s.comm, Some(CommOp::Isend { .. })))
+            .count();
         assert_eq!(isends, 7);
     }
 
@@ -592,8 +612,12 @@ mod tests {
             prog.build_iteration(rank, 0, &mut c);
             for s in &c.specs {
                 match s.comm {
-                    Some(CommOp::Isend { peer, bytes, tag }) => sends.push((rank, peer, tag, bytes)),
-                    Some(CommOp::Irecv { peer, bytes, tag }) => recvs.push((peer, rank, tag, bytes)),
+                    Some(CommOp::Isend { peer, bytes, tag }) => {
+                        sends.push((rank, peer, tag, bytes))
+                    }
+                    Some(CommOp::Irecv { peer, bytes, tag }) => {
+                        recvs.push((peer, rank, tag, bytes))
+                    }
                     _ => {}
                 }
             }

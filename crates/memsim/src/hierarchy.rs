@@ -79,8 +79,12 @@ pub struct MemoryHierarchy {
 impl MemoryHierarchy {
     /// Build a hierarchy for `n_cores` cores.
     pub fn new(cfg: MemConfig, n_cores: usize) -> Self {
-        let l1 = (0..n_cores).map(|_| LruCache::new(cfg.l1_blocks())).collect();
-        let l2 = (0..n_cores).map(|_| LruCache::new(cfg.l2_blocks())).collect();
+        let l1 = (0..n_cores)
+            .map(|_| LruCache::new(cfg.l1_blocks()))
+            .collect();
+        let l2 = (0..n_cores)
+            .map(|_| LruCache::new(cfg.l2_blocks()))
+            .collect();
         let l3 = LruCache::new(cfg.l3_blocks());
         MemoryHierarchy {
             cfg,
@@ -232,7 +236,10 @@ mod tests {
         let fp = [BlockRange::new(0, 33)]; // L3 is 32 blocks; cyclic sweep thrashes
         h.touch_footprint(0, &fp);
         let s = h.touch_footprint(0, &fp);
-        assert_eq!(s.l3_misses, 33, "cyclic LRU sweep over capacity+1 misses all");
+        assert_eq!(
+            s.l3_misses, 33,
+            "cyclic LRU sweep over capacity+1 misses all"
+        );
     }
 
     #[test]

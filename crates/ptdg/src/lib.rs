@@ -18,6 +18,10 @@
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
+mod run;
+
+pub use run::{run, Backend, RunOutcome};
+
 pub use ptdg_cholesky as cholesky;
 pub use ptdg_core as core;
 pub use ptdg_hpcg as hpcg;

@@ -1,0 +1,110 @@
+//! One entry point, two back-ends.
+//!
+//! A [`ptdg_core::program::RankProgram`] value is runnable unmodified on
+//! real threads ([`ptdg_core::exec::run_program`]) or under the
+//! discrete-event simulator ([`ptdg_simrt::simulate_tasks`]): both sit on
+//! the same runtime kernel (`ptdg_core::rt`), so the discovered graph —
+//! node for node, edge for edge — is the same. [`run`] selects the
+//! back-end with a [`Backend`] value and returns a [`RunOutcome`] exposing
+//! the back-end-independent measurements uniformly.
+
+use ptdg_core::exec::{run_program, ThreadsConfig, ThreadsReport};
+use ptdg_core::graph::{DiscoveryStats, GraphTemplate};
+use ptdg_core::handle::HandleSpace;
+use ptdg_core::program::RankProgram;
+use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig, SimReport};
+
+/// Which executor runs the program.
+///
+/// `Sim` is much larger than `Threads` (it embeds the full machine and
+/// simulation configuration), but the value is built once per run and
+/// never stored in bulk, so boxing would only hurt ergonomics.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum Backend {
+    /// The wall-clock thread pool (ranks sequential, comm side effects
+    /// are no-ops).
+    Threads(ThreadsConfig),
+    /// The virtual-time DES with cache, DRAM-contention and network
+    /// models.
+    Sim {
+        /// Modeled platform.
+        machine: MachineConfig,
+        /// Simulation configuration.
+        cfg: SimConfig,
+    },
+}
+
+/// What [`run`] produced — the full back-end report, plus uniform
+/// accessors for what both sides measure.
+#[derive(Clone, Debug)]
+pub enum RunOutcome {
+    /// Thread back-end report.
+    Threads(ThreadsReport),
+    /// Simulator report.
+    Sim(SimReport),
+}
+
+impl RunOutcome {
+    /// Discovery statistics merged over ranks.
+    pub fn stats(&self) -> DiscoveryStats {
+        match self {
+            RunOutcome::Threads(r) => r.stats(),
+            RunOutcome::Sim(r) => {
+                let mut total = DiscoveryStats::default();
+                for rank in &r.ranks {
+                    total.merge(&rank.disc);
+                }
+                total
+            }
+        }
+    }
+
+    /// Per-rank discovery statistics.
+    pub fn per_rank_stats(&self) -> Vec<DiscoveryStats> {
+        match self {
+            RunOutcome::Threads(r) => r.per_rank_stats.clone(),
+            RunOutcome::Sim(r) => r.ranks.iter().map(|rank| rank.disc).collect(),
+        }
+    }
+
+    /// Captured graphs per rank (set `capture_graph` in the back-end
+    /// configuration to fill these).
+    pub fn graphs(&self) -> &[GraphTemplate] {
+        match self {
+            RunOutcome::Threads(r) => &r.graphs,
+            RunOutcome::Sim(r) => &r.graphs,
+        }
+    }
+
+    /// The thread report, if that back-end ran.
+    pub fn threads(&self) -> Option<&ThreadsReport> {
+        match self {
+            RunOutcome::Threads(r) => Some(r),
+            RunOutcome::Sim(_) => None,
+        }
+    }
+
+    /// The simulation report, if that back-end ran.
+    pub fn sim(&self) -> Option<&SimReport> {
+        match self {
+            RunOutcome::Threads(_) => None,
+            RunOutcome::Sim(r) => Some(r),
+        }
+    }
+}
+
+/// Run `program` on the chosen back-end.
+///
+/// `space` is the handle space the program's dependences live in; the
+/// simulator additionally resolves task footprints against it (its block
+/// size must match the machine's memory model), while the thread back-end
+/// only needs it to have been used consistently by the program.
+pub fn run(space: &HandleSpace, program: &dyn RankProgram, backend: Backend) -> RunOutcome {
+    match backend {
+        Backend::Threads(cfg) => RunOutcome::Threads(run_program(program, &cfg)),
+        Backend::Sim { machine, cfg } => {
+            RunOutcome::Sim(simulate_tasks(&machine, &cfg, space, program))
+        }
+    }
+}

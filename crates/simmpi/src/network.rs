@@ -120,13 +120,14 @@ impl Network {
                         self.finish(recv.req, recv_done, &mut out);
                     }
                     None => {
-                        self.unmatched_sends.entry(key).or_default().push_back(
-                            PendingSend {
+                        self.unmatched_sends
+                            .entry(key)
+                            .or_default()
+                            .push_back(PendingSend {
                                 req,
                                 bytes,
                                 posted: now,
-                            },
-                        );
+                            });
                     }
                 }
             }
@@ -307,7 +308,13 @@ mod tests {
         n.post_isend(SimTime::from_ns(0), 0, 1, 7, 500);
         let (rreq, comps) = n.post_irecv(SimTime::from_ns(50), 0, 1, 7, 500);
         // arrival = 0 + 100 + 500 = 600 > post time 50
-        assert_eq!(comps, vec![Completion { req: rreq, at: SimTime::from_ns(600) }]);
+        assert_eq!(
+            comps,
+            vec![Completion {
+                req: rreq,
+                at: SimTime::from_ns(600)
+            }]
+        );
     }
 
     #[test]
@@ -328,8 +335,14 @@ mod tests {
         // done = max(0, 5000) + 200 + 100 + 2000 = 7300, both sides
         assert_eq!(comps.len(), 2);
         let done = SimTime::from_ns(7_300);
-        assert!(comps.contains(&Completion { req: sreq, at: done }));
-        assert!(comps.contains(&Completion { req: rreq, at: done }));
+        assert!(comps.contains(&Completion {
+            req: sreq,
+            at: done
+        }));
+        assert!(comps.contains(&Completion {
+            req: rreq,
+            at: done
+        }));
         // Early posting shortens c(send): here c = 7300 (late recv).
         assert_eq!(n.request(sreq).comm_time().unwrap().as_ns(), 7_300);
     }

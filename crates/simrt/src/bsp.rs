@@ -96,7 +96,9 @@ pub fn simulate_bsp(
                 let phase = st.phases[st.phase_idx].clone();
                 st.phase_idx += 1;
                 match phase {
-                    BspPhase::Loop { flops, footprint, .. } => {
+                    BspPhase::Loop {
+                        flops, footprint, ..
+                    } => {
                         let t_done = run_loop(machine, space, st, flops, &footprint, now);
                         st.last_event = st.last_event.max(t_done);
                         evq.push(t_done, Ev::Step(r));
@@ -222,7 +224,8 @@ fn run_loop(
         let dram_s = mem.cycles_to_secs(stall.l3);
         let nominal = (compute_s + fast_s + dram_s).max(1e-12);
         demands.push((
-            st.contention.register(stats.dram_bytes(mem) as f64 / nominal),
+            st.contention
+                .register(stats.dram_bytes(mem) as f64 / nominal),
             compute_s + fast_s,
             dram_s,
         ));

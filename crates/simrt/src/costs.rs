@@ -113,8 +113,8 @@ mod tests {
     fn table2_anchor_reinstance() {
         // ~181 k tasks of ~50 B firstprivate per iteration ≈ 0.08 s.
         let c = DiscoveryCosts::default();
-        let per_iter = 181_000.0
-            * (c.per_reinstance_task.as_secs_f64() + 50.0 * c.per_fp_byte.as_secs_f64());
+        let per_iter =
+            181_000.0 * (c.per_reinstance_task.as_secs_f64() + 50.0 * c.per_fp_byte.as_secs_f64());
         assert!(
             (0.05..0.12).contains(&per_iter),
             "re-instance anchor off: {per_iter}"

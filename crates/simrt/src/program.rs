@@ -1,23 +1,12 @@
 //! Program abstractions consumed by the virtual executors.
+//!
+//! [`RankProgram`] now lives in `ptdg-core` (it is the input type of both
+//! back-ends — see `ptdg_core::program`); it is re-exported here so existing
+//! imports keep working. The fork-join reference model stays local.
 
-use ptdg_core::builder::TaskSubmitter;
 use ptdg_core::workdesc::HandleSlice;
 
-/// Rank index.
-pub type Rank = u32;
-
-/// A task-based application: one sequential task stream per rank per
-/// iteration (the analogue of the OpenMP `single` region of Listing 1).
-///
-/// Implementations must generate the same task stream for a given
-/// `(rank, iter)` every time they are asked (the simulator may replay), and
-/// the same *dependency scheme* across iterations when run persistently.
-pub trait RankProgram {
-    /// Iterations to run.
-    fn n_iterations(&self) -> u64;
-    /// Generate the tasks of `iter` on `rank`.
-    fn build_iteration(&self, rank: Rank, iter: u64, sub: &mut dyn TaskSubmitter);
-}
+pub use ptdg_core::program::{Rank, RankProgram};
 
 /// One phase of a fork-join (`parallel for`) program.
 #[derive(Clone, Debug)]

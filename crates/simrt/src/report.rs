@@ -110,15 +110,15 @@ pub struct SimReport {
     pub ranks: Vec<RankReport>,
     /// Recorded trace of the requested rank, if any.
     pub trace: Option<Trace>,
+    /// Captured graph per rank (empty unless `SimConfig::capture_graph`;
+    /// in persistent mode this is the first-iteration template).
+    pub graphs: Vec<ptdg_core::graph::GraphTemplate>,
 }
 
 impl SimReport {
     /// Job wall-clock: the slowest rank's span, seconds.
     pub fn total_time_s(&self) -> f64 {
-        self.ranks
-            .iter()
-            .map(|r| r.span_s())
-            .fold(0.0, f64::max)
+        self.ranks.iter().map(|r| r.span_s()).fold(0.0, f64::max)
     }
 
     /// One rank's report.
@@ -176,7 +176,7 @@ mod tests {
                     ..Default::default()
                 },
             ],
-            trace: None,
+            ..Default::default()
         };
         assert!((report.total_time_s() - 7.0).abs() < 1e-9);
         assert_eq!(report.rank(1).span_ns, 7_000_000_000);

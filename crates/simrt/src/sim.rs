@@ -10,26 +10,35 @@
 //! their work time coming from the `ptdg-memsim` cache model under shared
 //! DRAM contention; communication tasks post into the `ptdg-simmpi` network
 //! with detached-completion semantics.
+//!
+//! Graph state is **not** simulated here: nodes, in-degree counters,
+//! readiness, hold gate, throttling and persistent re-instancing all come
+//! from the shared runtime kernel ([`ptdg_core::rt`]) — the same code the
+//! thread executor runs. This file is purely the *DES cost-model policy*:
+//! it decides what each kernel transition costs in virtual time and which
+//! simulated core performs it.
 
 use crate::machine::MachineConfig;
 use crate::program::RankProgram;
 use crate::report::{RankReport, SimReport};
 use ptdg_core::builder::RecordingSubmitter;
-use ptdg_core::exec::SchedPolicy;
-use ptdg_core::graph::{DiscoveryEngine, DiscoveryStats, GraphSink};
+use ptdg_core::graph::{DiscoveryEngine, DiscoveryStats};
 use ptdg_core::handle::HandleSpace;
 use ptdg_core::opts::OptConfig;
 use ptdg_core::profile::{Span, SpanKind, Trace};
+use ptdg_core::rt::{
+    GraphInstance, HoldGate, InstanceOptions, PersistentInstance, ReadyQueues, ReadyTracker,
+    RtNode, SchedPolicy, ThrottleGate, REINSTANCE_BATCH,
+};
 use ptdg_core::task::{TaskId, TaskSpec};
 use ptdg_core::throttle::ThrottleConfig;
-use ptdg_core::workdesc::CommOp;
+use ptdg_core::workdesc::{CommOp, WorkDesc};
 use ptdg_memsim::{BlockRange, DramContention, MemoryHierarchy};
 use ptdg_simcore::{EventQueue, SimTime, SplitRng};
 use ptdg_simmpi::{Network, ReqId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::Arc;
 
-/// How many template tasks one persistent re-instance event processes.
-const REINSTANCE_BATCH: u32 = 16;
 /// Producer retry period while throttled with nothing to help with.
 const THROTTLE_RETRY: SimTime = SimTime(5_000);
 
@@ -58,6 +67,10 @@ pub struct SimConfig {
     pub work_jitter: f64,
     /// Seed of the jitter streams.
     pub seed: u64,
+    /// Capture the discovered graph per rank into
+    /// [`SimReport::graphs`] (cross-backend equivalence checks). Capture
+    /// disables edge pruning, like persistent capture does.
+    pub capture_graph: bool,
 }
 
 impl Default for SimConfig {
@@ -73,6 +86,7 @@ impl Default for SimConfig {
             record_trace_rank: None,
             work_jitter: 0.0,
             seed: 0x5EED,
+            capture_graph: false,
         }
     }
 }
@@ -95,49 +109,41 @@ enum Ev {
     ReqDone(ReqId),
 }
 
-struct SimNode {
-    name: &'static str,
-    flops: f64,
-    blocks: Vec<BlockRange>,
-    comm: Option<CommOp>,
-    fp_bytes: u32,
-    iter: u64,
-    pending: u32,
-    completed: bool,
-    queued: bool,
-    is_redirect: bool,
-    succs: Vec<u32>,
-}
-
 enum Prod {
     StartIter(u64),
-    Discover { iter: u64, specs: VecDeque<TaskSpec> },
-    Reinstance { iter: u64, next: u32 },
-    Barrier { next_iter: u64 },
+    Discover {
+        iter: u64,
+        specs: std::collections::VecDeque<TaskSpec>,
+    },
+    Reinstance {
+        iter: u64,
+        next: usize,
+    },
+    Barrier {
+        next_iter: u64,
+    },
     Worker,
 }
 
 struct RankState {
     engine: DiscoveryEngine,
-    nodes: Vec<SimNode>,
+    /// Streaming graph state (kernel).
+    instance: GraphInstance,
+    tracker: Arc<ReadyTracker>,
+    queues: ReadyQueues<u32>,
+    gate: HoldGate<u32>,
+    throttle: ThrottleGate,
+    /// Instanced persistent graph after iteration 0 (kernel).
+    pinst: Option<PersistentInstance>,
+    /// Memory footprint per node id, resolved once at creation (the
+    /// cost-model side table the kernel is agnostic of).
+    blocks: Vec<Vec<BlockRange>>,
     prod: Prod,
     producer_helping: bool,
     producer_done: bool,
-    live: u64,
-    ready_count: usize,
-    local: Vec<VecDeque<u32>>,
-    global: VecDeque<u32>,
     idle_since: Vec<Option<SimTime>>,
-    held: Vec<u32>,
     hier: MemoryHierarchy,
     contention: DramContention,
-    // persistent template (CSR over nodes 0..n0)
-    tmpl_succ_off: Vec<u32>,
-    tmpl_succs: Vec<u32>,
-    tmpl_indeg: Vec<u32>,
-    tmpl_edges: Vec<(u32, u32)>,
-    n0: u32,
-    capture: bool,
     in_template_iter: bool, // executing a re-instanced iteration
     // accounting
     work_ns: u64,
@@ -162,6 +168,18 @@ struct RankState {
 }
 
 impl RankState {
+    /// The live node for `id` in the current execution mode.
+    fn node(&self, id: u32) -> &Arc<RtNode> {
+        if self.in_template_iter {
+            self.pinst
+                .as_ref()
+                .expect("template iteration")
+                .node(TaskId(id))
+        } else {
+            self.instance.node(TaskId(id))
+        }
+    }
+
     fn acc_overlap(&mut self, now: SimTime) {
         // start_exec pre-advances the accounting clock to the task's start
         // time; an event landing inside that window contributes nothing.
@@ -175,7 +193,15 @@ impl RankState {
         self.overlap_last = now;
     }
 
-    fn span(&mut self, worker: u32, start: SimTime, end: SimTime, kind: SpanKind, name: &'static str, iter: u64) {
+    fn span(
+        &mut self,
+        worker: u32,
+        start: SimTime,
+        end: SimTime,
+        kind: SpanKind,
+        name: &'static str,
+        iter: u64,
+    ) {
         if let Some(tr) = &mut self.trace {
             tr.push(Span {
                 worker,
@@ -189,98 +215,19 @@ impl RankState {
     }
 }
 
-/// Streaming graph sink over a rank's node array.
-struct StreamSink<'a> {
-    nodes: &'a mut Vec<SimNode>,
-    space: &'a HandleSpace,
-    live: &'a mut u64,
-    capture: bool,
-    tmpl_edges: &'a mut Vec<(u32, u32)>,
-    newly_ready: &'a mut Vec<u32>,
-    iter: u64,
-}
-
-impl StreamSink<'_> {
-    fn resolve_blocks(&self, spec: &TaskSpec) -> Vec<BlockRange> {
-        let bb = self.space.block_bytes();
-        spec.work
-            .footprint
-            .iter()
-            .filter(|s| s.len > 0)
-            .map(|s| {
-                let info = self.space.info(s.handle);
-                let first = info.base_block + s.offset / bb;
-                let last = info.base_block + (s.offset + s.len - 1) / bb;
-                BlockRange::new(first, (last - first + 1) as u32)
-            })
-            .collect()
-    }
-}
-
-impl GraphSink for StreamSink<'_> {
-    fn add_task(&mut self, spec: &TaskSpec) -> TaskId {
-        let id = self.nodes.len() as u32;
-        let blocks = self.resolve_blocks(spec);
-        self.nodes.push(SimNode {
-            name: spec.name,
-            flops: spec.work.flops,
-            blocks,
-            comm: spec.comm,
-            fp_bytes: spec.fp_bytes,
-            iter: self.iter,
-            pending: 1, // creation token
-            completed: false,
-            queued: false,
-            is_redirect: false,
-            succs: Vec::new(),
-        });
-        *self.live += 1;
-        TaskId(id)
-    }
-
-    fn add_redirect(&mut self) -> TaskId {
-        let id = self.nodes.len() as u32;
-        self.nodes.push(SimNode {
-            name: "<redirect>",
-            flops: 0.0,
-            blocks: Vec::new(),
-            comm: None,
-            fp_bytes: 0,
-            iter: self.iter,
-            pending: 1,
-            completed: false,
-            queued: false,
-            is_redirect: true,
-            succs: Vec::new(),
-        });
-        *self.live += 1;
-        TaskId(id)
-    }
-
-    fn add_edge(&mut self, pred: TaskId, succ: TaskId) -> bool {
-        if self.capture {
-            self.tmpl_edges.push((pred.0, succ.0));
-        }
-        if self.nodes[pred.index()].completed {
-            // Pruned live; in capture mode it still counts as created.
-            return self.capture;
-        }
-        self.nodes[succ.index()].pending += 1;
-        self.nodes[pred.index()].succs.push(succ.0);
-        true
-    }
-
-    fn seal(&mut self, task: TaskId) {
-        let n = &mut self.nodes[task.index()];
-        n.pending -= 1;
-        if n.pending == 0 {
-            self.newly_ready.push(task.0);
-        }
-    }
-
-    fn wants_bodies(&self) -> bool {
-        false
-    }
+/// Resolve a work description's footprint to memory-model block ranges.
+fn resolve_blocks(space: &HandleSpace, work: &WorkDesc) -> Vec<BlockRange> {
+    let bb = space.block_bytes();
+    work.footprint
+        .iter()
+        .filter(|s| s.len > 0)
+        .map(|s| {
+            let info = space.info(s.handle);
+            let first = info.base_block + s.offset / bb;
+            let last = info.base_block + (s.offset + s.len - 1) / bb;
+            BlockRange::new(first, (last - first + 1) as u32)
+        })
+        .collect()
 }
 
 /// The simulation driver.
@@ -293,7 +240,6 @@ pub struct TaskSim<'p> {
     ranks: Vec<RankState>,
     net: Network,
     req_map: HashMap<ReqId, (u32, u32)>,
-    ready_buf: Vec<u32>,
 }
 
 /// Simulate a task-based program and return its measurements.
@@ -325,41 +271,46 @@ impl<'p> TaskSim<'p> {
         );
         let n_cores = machine.n_cores;
         let ranks = (0..cfg.n_ranks)
-            .map(|r| RankState {
-                engine: DiscoveryEngine::new(cfg.opts),
-                nodes: Vec::new(),
-                prod: Prod::StartIter(0),
-                producer_helping: false,
-                producer_done: false,
-                live: 0,
-                ready_count: 0,
-                local: vec![VecDeque::new(); n_cores],
-                global: VecDeque::new(),
-                idle_since: vec![None; n_cores],
-                held: Vec::new(),
-                hier: MemoryHierarchy::new(machine.mem.clone(), n_cores),
-                contention: DramContention::new(machine.mem.dram_bw_bytes_per_s),
-                tmpl_succ_off: Vec::new(),
-                tmpl_succs: Vec::new(),
-                tmpl_indeg: Vec::new(),
-                tmpl_edges: Vec::new(),
-                n0: 0,
-                capture: cfg.persistent,
-                in_template_iter: false,
-                work_ns: 0,
-                overhead_ns: 0,
-                idle_ns: 0,
-                tasks_executed: 0,
-                last_event: SimTime::ZERO,
-                stalls: Default::default(),
-                disc_busy_ns: 0,
-                disc_first_iter_ns: 0,
-                open_tracked: 0,
-                running_work: 0,
-                overlap_last: SimTime::ZERO,
-                overlapped_ns: 0,
-                trace: (cfg.record_trace_rank == Some(r)).then(Vec::new),
-                rng: SplitRng::new(cfg.seed.wrapping_add(r as u64 * 0x9E37_79B9)),
+            .map(|r| {
+                let tracker = Arc::new(ReadyTracker::new());
+                RankState {
+                    engine: DiscoveryEngine::new(cfg.opts),
+                    instance: GraphInstance::new(
+                        Arc::clone(&tracker),
+                        InstanceOptions {
+                            want_bodies: false,
+                            keep_work: true,
+                            capture: cfg.persistent || cfg.capture_graph,
+                        },
+                    ),
+                    tracker,
+                    queues: ReadyQueues::new(cfg.policy, n_cores),
+                    gate: HoldGate::new(cfg.non_overlapped),
+                    throttle: ThrottleGate::new(cfg.throttle),
+                    pinst: None,
+                    blocks: Vec::new(),
+                    prod: Prod::StartIter(0),
+                    producer_helping: false,
+                    producer_done: false,
+                    idle_since: vec![None; n_cores],
+                    hier: MemoryHierarchy::new(machine.mem.clone(), n_cores),
+                    contention: DramContention::new(machine.mem.dram_bw_bytes_per_s),
+                    in_template_iter: false,
+                    work_ns: 0,
+                    overhead_ns: 0,
+                    idle_ns: 0,
+                    tasks_executed: 0,
+                    last_event: SimTime::ZERO,
+                    stalls: Default::default(),
+                    disc_busy_ns: 0,
+                    disc_first_iter_ns: 0,
+                    open_tracked: 0,
+                    running_work: 0,
+                    overlap_last: SimTime::ZERO,
+                    overlapped_ns: 0,
+                    trace: (cfg.record_trace_rank == Some(r)).then(Vec::new),
+                    rng: SplitRng::new(cfg.seed.wrapping_add(r as u64 * 0x9E37_79B9)),
+                }
             })
             .collect();
         let net = Network::new(cfg.net.clone(), cfg.n_ranks);
@@ -372,7 +323,6 @@ impl<'p> TaskSim<'p> {
             ranks,
             net,
             req_map: HashMap::new(),
-            ready_buf: Vec::new(),
         }
     }
 
@@ -420,24 +370,18 @@ impl<'p> TaskSim<'p> {
                     st.prod = Prod::Worker;
                     self.finish_discovery(rank, now);
                 } else if self.cfg.persistent && iter > 0 {
-                    // bookkeeping reset is free; the *time* is charged by
-                    // the paced Reinstance steps below.
-                    let n0 = st.n0;
-                    for k in 0..n0 as usize {
-                        let ind = st.tmpl_indeg[k];
-                        let n = &mut st.nodes[k];
-                        n.pending = ind + 1; // +1 visibility token
-                        n.completed = false;
-                        n.queued = false;
-                        n.iter = iter;
-                    }
-                    st.live += n0 as u64;
+                    // Kernel-side re-arm is bookkeeping; the *time* is
+                    // charged by the paced Reinstance steps below, which
+                    // drop the visibility tokens batch by batch.
+                    let pinst = st.pinst.as_ref().expect("template frozen after iter 0");
+                    pinst.begin_iteration(iter, &st.tracker);
                     st.in_template_iter = true;
                     st.prod = Prod::Reinstance { iter, next: 0 };
                     self.evq.push(now, Ev::Producer(rank));
                 } else {
                     let mut rec = RecordingSubmitter::default();
                     self.program.build_iteration(rank, iter, &mut rec);
+                    st.instance.set_iter(iter);
                     st.prod = Prod::Discover {
                         iter,
                         specs: rec.specs.into(),
@@ -447,11 +391,7 @@ impl<'p> TaskSim<'p> {
             }
             Prod::Discover { iter, mut specs } => {
                 // Throttling: the producer helps execute when bounds are hit.
-                if self
-                    .cfg
-                    .throttle
-                    .should_help(st.ready_count, st.live as usize)
-                {
+                if st.throttle.should_help(&st.tracker) {
                     st.prod = Prod::Discover { iter, specs };
                     self.producer_help(rank, now);
                     return;
@@ -464,8 +404,10 @@ impl<'p> TaskSim<'p> {
                             self.freeze_template(rank);
                             let st = &mut self.ranks[rank as usize];
                             st.disc_first_iter_ns = st.disc_busy_ns;
-                            st.prod = Prod::Barrier { next_iter: iter + 1 };
-                            if st.live == 0 {
+                            st.prod = Prod::Barrier {
+                                next_iter: iter + 1,
+                            };
+                            if st.tracker.quiescent() {
                                 self.evq.push(now, Ev::Producer(rank));
                             }
                         } else {
@@ -475,48 +417,40 @@ impl<'p> TaskSim<'p> {
                     }
                     Some(spec) => {
                         let before = st.engine.stats();
-                        let space = &self.space;
+                        let n_before = st.instance.len();
                         let RankState {
-                            engine,
-                            nodes,
-                            live,
-                            tmpl_edges,
-                            capture,
-                            ..
+                            engine, instance, ..
                         } = st;
-                        self.ready_buf.clear();
-                        let mut sink = StreamSink {
-                            nodes,
-                            space,
-                            live,
-                            capture: *capture,
-                            tmpl_edges,
-                            newly_ready: &mut self.ready_buf,
-                            iter,
-                        };
-                        engine.submit(&mut sink, &spec);
-                        let cost = self.discovery_cost(&before, &self.ranks[rank as usize].engine.stats());
+                        engine.submit(instance, &spec);
+                        // Resolve the cost-model footprint of the nodes
+                        // this submission created.
+                        for id in n_before..st.instance.len() {
+                            let w = st.instance.node(TaskId(id as u32)).work.as_ref();
+                            st.blocks
+                                .push(w.map_or_else(Vec::new, |w| resolve_blocks(&self.space, w)));
+                        }
+                        let cost =
+                            self.discovery_cost(&before, &self.ranks[rank as usize].engine.stats());
                         let t_end = now + cost;
                         let st = &mut self.ranks[rank as usize];
                         st.overhead_ns += cost.as_ns();
                         st.disc_busy_ns += cost.as_ns();
                         st.span(0, now, t_end, SpanKind::Discovery, "<discovery>", iter);
                         st.prod = Prod::Discover { iter, specs };
-                        let ready = std::mem::take(&mut self.ready_buf);
-                        for n in &ready {
-                            self.activate(rank, *n, None, t_end);
+                        for node in st.instance.drain_ready() {
+                            self.activate(rank, node.id.0, None, t_end);
                         }
-                        self.ready_buf = ready;
                         self.evq.push(t_end, Ev::Producer(rank));
                     }
                 }
             }
             Prod::Reinstance { iter, next } => {
-                let n0 = st.n0;
+                let pinst = st.pinst.as_ref().expect("reinstance needs a template");
+                let n0 = pinst.len();
                 let hi = (next + REINSTANCE_BATCH).min(n0);
                 let mut cost = SimTime::ZERO;
                 for k in next..hi {
-                    let fp = st.nodes[k as usize].fp_bytes as u64;
+                    let fp = pinst.node(TaskId(k as u32)).fp_bytes as u64;
                     cost += self.machine.discovery.per_reinstance_task
                         + self.machine.discovery.per_fp_byte.scaled(fp);
                 }
@@ -524,17 +458,16 @@ impl<'p> TaskSim<'p> {
                 st.overhead_ns += cost.as_ns();
                 st.disc_busy_ns += cost.as_ns();
                 st.span(0, now, t_end, SpanKind::Discovery, "<reinstance>", iter);
-                for k in next..hi {
-                    let n = &mut self.ranks[rank as usize].nodes[k as usize];
-                    n.pending -= 1; // visibility token
-                    if n.pending == 0 {
-                        self.activate(rank, k, None, t_end);
-                    }
+                let ready = st.pinst.as_ref().unwrap().publish(next..hi);
+                for node in ready {
+                    self.activate(rank, node.id.0, None, t_end);
                 }
                 let st = &mut self.ranks[rank as usize];
                 if hi >= n0 {
-                    st.prod = Prod::Barrier { next_iter: iter + 1 };
-                    if st.live == 0 {
+                    st.prod = Prod::Barrier {
+                        next_iter: iter + 1,
+                    };
+                    if st.tracker.quiescent() {
                         self.evq.push(t_end, Ev::Producer(rank));
                     }
                 } else {
@@ -543,7 +476,7 @@ impl<'p> TaskSim<'p> {
                 }
             }
             Prod::Barrier { next_iter } => {
-                if st.live == 0 {
+                if st.tracker.quiescent() {
                     st.in_template_iter = false;
                     st.prod = Prod::StartIter(next_iter);
                     self.evq.push(now, Ev::Producer(rank));
@@ -571,36 +504,19 @@ impl<'p> TaskSim<'p> {
             + d.per_dup_probe.scaled(probes)
     }
 
+    /// End of the capturing iteration: instance the persistent graph from
+    /// the kernel template (optimization (p)).
     fn freeze_template(&mut self, rank: u32) {
         let st = &mut self.ranks[rank as usize];
-        let n0 = st.nodes.len() as u32;
-        st.n0 = n0;
-        let mut off = vec![0u32; n0 as usize + 1];
-        let mut indeg = vec![0u32; n0 as usize];
-        for &(p, s) in &st.tmpl_edges {
-            off[p as usize + 1] += 1;
-            indeg[s as usize] += 1;
-        }
-        for i in 0..n0 as usize {
-            off[i + 1] += off[i];
-        }
-        let mut cursor = off.clone();
-        let mut succs = vec![0u32; st.tmpl_edges.len()];
-        for &(p, s) in &st.tmpl_edges {
-            succs[cursor[p as usize] as usize] = s;
-            cursor[p as usize] += 1;
-        }
-        st.tmpl_succ_off = off;
-        st.tmpl_succs = succs;
-        st.tmpl_indeg = indeg;
+        let template = Arc::new(st.instance.finish_capture());
+        st.pinst = Some(PersistentInstance::new(template, true));
     }
 
     fn finish_discovery(&mut self, rank: u32, now: SimTime) {
         let st = &mut self.ranks[rank as usize];
         st.producer_done = true;
         // Non-overlapped mode: everything was held back; release it now.
-        let held = std::mem::take(&mut st.held);
-        for n in held {
+        for n in st.gate.release() {
             self.enqueue(rank, n, None, now);
         }
         // Core 0 joins the worker pool.
@@ -620,61 +536,44 @@ impl<'p> TaskSim<'p> {
 
     /// A node's dependences are all satisfied: route it.
     fn activate(&mut self, rank: u32, node: u32, by_core: Option<u32>, at: SimTime) {
-        let is_redirect = self.ranks[rank as usize].nodes[node as usize].is_redirect;
-        if is_redirect {
+        let st = &mut self.ranks[rank as usize];
+        if st.node(node).is_redirect {
             // Redirect nodes are empty: they complete the moment they are
             // ready, costing nothing at execution time.
             self.complete_node(rank, node, by_core, at);
             return;
         }
-        let st = &mut self.ranks[rank as usize];
-        if !st.producer_done && self.cfg.non_overlapped {
-            st.nodes[node as usize].queued = true;
-            st.held.push(node);
-            return;
+        // `None` means the gate held the node until discovery finishes
+        // (non-overlapped mode).
+        if let Some(node) = st.gate.offer(node) {
+            self.enqueue(rank, node, by_core, at)
         }
-        self.enqueue(rank, node, by_core, at);
     }
 
     fn enqueue(&mut self, rank: u32, node: u32, by_core: Option<u32>, at: SimTime) {
         let st = &mut self.ranks[rank as usize];
-        st.nodes[node as usize].queued = true;
-        st.ready_count += 1;
-        match (self.cfg.policy, by_core) {
-            (SchedPolicy::DepthFirst, Some(c)) => st.local[c as usize].push_back(node),
-            _ => st.global.push_back(node),
-        }
-        // Wake one idle core, if any (prefer the pushing core's neighbours).
+        st.tracker.became_ready();
+        st.queues.push(node, by_core.map(|c| c as usize));
+        // Wake one idle core, if any.
         if let Some(core) = st.idle_since.iter().position(|s| s.is_some()) {
             let since = st.idle_since[core].take().unwrap();
             st.idle_ns += at.as_ns().saturating_sub(since.as_ns());
             st.span(core as u32, since, at, SpanKind::Idle, "", 0);
-            self.evq
-                .push(at + self.machine.sched.wakeup, Ev::CoreFree { rank, core: core as u32 });
+            self.evq.push(
+                at + self.machine.sched.wakeup,
+                Ev::CoreFree {
+                    rank,
+                    core: core as u32,
+                },
+            );
         }
     }
 
     fn pick_task(&mut self, rank: u32, core: u32) -> Option<(u32, bool)> {
         let st = &mut self.ranks[rank as usize];
-        let picked = match self.cfg.policy {
-            SchedPolicy::DepthFirst => {
-                if let Some(n) = st.local[core as usize].pop_back() {
-                    Some((n, false))
-                } else if let Some(n) = st.global.pop_front() {
-                    Some((n, false))
-                } else {
-                    let n_cores = st.local.len();
-                    (0..n_cores)
-                        .map(|k| (core as usize + 1 + k) % n_cores)
-                        .find_map(|v| st.local[v].pop_front())
-                        .map(|n| (n, true))
-                }
-            }
-            SchedPolicy::BreadthFirst => st.global.pop_front().map(|n| (n, false)),
-        };
-        if let Some((n, _)) = picked {
-            st.ready_count -= 1;
-            st.nodes[n as usize].queued = false;
+        let picked = st.queues.pop(Some(core as usize));
+        if picked.is_some() {
+            st.tracker.scheduled();
         }
         picked
     }
@@ -699,15 +598,19 @@ impl<'p> TaskSim<'p> {
 
     fn start_exec(&mut self, rank: u32, core: u32, node: u32, stolen: bool, now: SimTime) {
         let sched = &self.machine.sched;
-        let overhead =
-            sched.per_schedule + if stolen { sched.steal_penalty } else { SimTime::ZERO };
+        let overhead = sched.per_schedule
+            + if stolen {
+                sched.steal_penalty
+            } else {
+                SimTime::ZERO
+            };
         let t1 = now + overhead;
         {
             let st = &mut self.ranks[rank as usize];
             st.overhead_ns += overhead.as_ns();
             st.span(core, now, t1, SpanKind::Overhead, "", 0);
         }
-        let comm = self.ranks[rank as usize].nodes[node as usize].comm;
+        let comm = self.ranks[rank as usize].node(node).comm;
         match comm {
             Some(op) => self.post_comm(rank, core, node, op, t1),
             None => {
@@ -716,8 +619,11 @@ impl<'p> TaskSim<'p> {
                 let st = &mut self.ranks[rank as usize];
                 st.acc_overlap(t1);
                 st.running_work += 1;
-                let n = &st.nodes[node as usize];
-                st.span(core, t1, t_done, SpanKind::Work, n.name, n.iter);
+                let (name, iter) = {
+                    let n = st.node(node);
+                    (n.name, n.iter.load(std::sync::atomic::Ordering::Relaxed))
+                };
+                st.span(core, t1, t_done, SpanKind::Work, name, iter);
                 self.evq.push(
                     t_done,
                     Ev::TaskDone {
@@ -740,11 +646,10 @@ impl<'p> TaskSim<'p> {
     ) -> (SimTime, Option<ptdg_memsim::DemandId>) {
         let mem = &self.machine.mem;
         let st = &mut self.ranks[rank as usize];
-        let n = &st.nodes[node as usize];
-        let flops = n.flops;
-        let blocks = std::mem::take(&mut st.nodes[node as usize].blocks);
+        let flops = st.node(node).work.as_ref().map_or(0.0, |w| w.flops);
+        let blocks = std::mem::take(&mut st.blocks[node as usize]);
         let stats = st.hier.touch_footprint(core as usize, &blocks);
-        st.nodes[node as usize].blocks = blocks;
+        st.blocks[node as usize] = blocks;
         let stall = stats.stall_cycles(mem);
         st.stalls.l1 += stall.l1;
         st.stalls.l2 += stall.l2;
@@ -789,9 +694,8 @@ impl<'p> TaskSim<'p> {
             st.work_ns += work_ns;
             st.tasks_executed += 1;
         }
-        self.complete_node(rank, node, Some(core), now);
-        let n_succ = self.succ_count(rank, node);
-        let release = self.machine.sched.per_release.scaled(n_succ as u64);
+        let released = self.complete_node(rank, node, Some(core), now);
+        let release = self.machine.sched.per_release.scaled(released as u64);
         self.ranks[rank as usize].overhead_ns += release.as_ns();
         let t_next = now + release;
         let st = &mut self.ranks[rank as usize];
@@ -803,43 +707,23 @@ impl<'p> TaskSim<'p> {
         }
     }
 
-    fn succ_count(&self, rank: u32, node: u32) -> usize {
-        let st = &self.ranks[rank as usize];
-        if st.in_template_iter {
-            let lo = st.tmpl_succ_off[node as usize] as usize;
-            let hi = st.tmpl_succ_off[node as usize + 1] as usize;
-            hi - lo
-        } else {
-            st.nodes[node as usize].succs.len()
-        }
-    }
-
-    fn complete_node(&mut self, rank: u32, node: u32, by_core: Option<u32>, now: SimTime) {
-        let st = &mut self.ranks[rank as usize];
-        debug_assert!(!st.nodes[node as usize].completed, "node completed twice");
-        st.nodes[node as usize].completed = true;
-        let succs: Vec<u32> = if st.in_template_iter {
-            let lo = st.tmpl_succ_off[node as usize] as usize;
-            let hi = st.tmpl_succ_off[node as usize + 1] as usize;
-            st.tmpl_succs[lo..hi].to_vec()
-        } else {
-            std::mem::take(&mut st.nodes[node as usize].succs)
-        };
-        st.live -= 1;
-        for s in succs {
-            let n = &mut self.ranks[rank as usize].nodes[s as usize];
-            debug_assert!(n.pending > 0);
-            n.pending -= 1;
-            if n.pending == 0 && !n.queued && !n.completed {
-                self.activate(rank, s, by_core, now);
-            }
+    /// Complete a node through the kernel, routing the successors it made
+    /// ready. Returns the number of successor releases performed (the
+    /// quantity `per_release` is charged on).
+    fn complete_node(&mut self, rank: u32, node: u32, by_core: Option<u32>, now: SimTime) -> usize {
+        let rt_node = Arc::clone(self.ranks[rank as usize].node(node));
+        let done = rt_node.complete();
+        for succ in &done.ready {
+            self.activate(rank, succ.id.0, by_core, now);
         }
         let st = &mut self.ranks[rank as usize];
-        if st.live == 0 {
+        st.tracker.completed();
+        if st.tracker.quiescent() {
             if let Prod::Barrier { .. } = st.prod {
                 self.evq.push(now, Ev::Producer(rank));
             }
         }
+        done.released
     }
 
     // ---- communication ----------------------------------------------------
@@ -858,8 +742,11 @@ impl<'p> TaskSim<'p> {
             st.open_tracked += 1;
         }
         let post_end = t1 + self.cfg.net.post_cost;
-        let n = &st.nodes[node as usize];
-        st.span(core, t1, post_end, SpanKind::Work, n.name, n.iter);
+        let (name, iter) = {
+            let n = st.node(node);
+            (n.name, n.iter.load(std::sync::atomic::Ordering::Relaxed))
+        };
+        st.span(core, t1, post_end, SpanKind::Work, name, iter);
         for c in comps {
             self.evq.push(c.at, Ev::ReqDone(c.req));
         }
@@ -895,10 +782,10 @@ impl<'p> TaskSim<'p> {
         let n_iters = self.program.n_iterations();
         let mut report = SimReport::default();
         for (r, st) in self.ranks.iter_mut().enumerate() {
-            assert_eq!(
-                st.live, 0,
+            assert!(
+                st.tracker.quiescent(),
                 "rank {r}: deadlock — {} tasks never completed",
-                st.live
+                st.tracker.live()
             );
             let span_end = st.last_event;
             for c in 0..st.idle_since.len() {
@@ -911,7 +798,7 @@ impl<'p> TaskSim<'p> {
             }
             let disc_ns = st.disc_busy_ns;
             let edges_existing = if self.cfg.persistent {
-                st.tmpl_edges.len() as u64 * n_iters
+                st.pinst.as_ref().map_or(0, |p| p.template().n_edges()) * n_iters
             } else {
                 st.engine.stats().edges_created
             };
@@ -937,6 +824,15 @@ impl<'p> TaskSim<'p> {
                 comm_p2p_ns: self.net.tracked_comm_split(r as u32).1.as_ns(),
                 overlapped_ns: st.overlapped_ns,
             });
+            if self.cfg.persistent {
+                if let Some(p) = &st.pinst {
+                    if self.cfg.capture_graph {
+                        report.graphs.push((**p.template()).clone());
+                    }
+                }
+            } else if self.cfg.capture_graph {
+                report.graphs.push(st.instance.finish_capture());
+            }
             if let Some(spans) = st.trace.take() {
                 let span_ns = span_end.as_ns();
                 report.trace = Some(Trace {

@@ -49,10 +49,10 @@ impl RankProgram for Wide {
             sub.submit(
                 TaskSpec::new("wide")
                     .depend(h, ptdg_core::AccessMode::InOut)
-                    .work(WorkDesc::compute(self.flops).touching(HandleSlice::whole(
-                        h,
-                        self.bytes_per_task,
-                    ))),
+                    .work(
+                        WorkDesc::compute(self.flops)
+                            .touching(HandleSlice::whole(h, self.bytes_per_task)),
+                    ),
             );
         }
     }
@@ -97,8 +97,18 @@ fn all_tasks_execute() {
 fn chain_serializes_regardless_of_core_count() {
     // A pure chain cannot go faster with more cores.
     let (space, prog) = chain_setup(200, 1);
-    let t2 = simulate_tasks(&MachineConfig::tiny(2), &SimConfig::default(), &space, &prog);
-    let t8 = simulate_tasks(&MachineConfig::tiny(8), &SimConfig::default(), &space, &prog);
+    let t2 = simulate_tasks(
+        &MachineConfig::tiny(2),
+        &SimConfig::default(),
+        &space,
+        &prog,
+    );
+    let t8 = simulate_tasks(
+        &MachineConfig::tiny(8),
+        &SimConfig::default(),
+        &space,
+        &prog,
+    );
     let ratio = t8.total_time_s() / t2.total_time_s();
     assert!(
         (0.8..1.25).contains(&ratio),
@@ -116,8 +126,18 @@ fn wide_program_scales_with_cores() {
         iters: 4,
         flops: 4e6, // 1 ms at 4 Gflop/s: discovery (µs-scale) is negligible
     };
-    let t1 = simulate_tasks(&MachineConfig::tiny(1), &SimConfig::default(), &space, &prog);
-    let t8 = simulate_tasks(&MachineConfig::tiny(8), &SimConfig::default(), &space, &prog);
+    let t1 = simulate_tasks(
+        &MachineConfig::tiny(1),
+        &SimConfig::default(),
+        &space,
+        &prog,
+    );
+    let t8 = simulate_tasks(
+        &MachineConfig::tiny(8),
+        &SimConfig::default(),
+        &space,
+        &prog,
+    );
     let speedup = t1.total_time_s() / t8.total_time_s();
     assert!(
         speedup > 4.0,
@@ -173,10 +193,7 @@ fn persistent_mode_cuts_discovery_time() {
     );
     assert_eq!(pers.rank(0).tasks_executed, 2400, "all iterations re-run");
     // First iteration carries the full capture cost.
-    assert!(
-        pers.rank(0).discovery_first_iter_ns as f64
-            > 0.3 * pers.rank(0).discovery_ns as f64
-    );
+    assert!(pers.rank(0).discovery_first_iter_ns as f64 > 0.3 * pers.rank(0).discovery_ns as f64);
 }
 
 #[test]
@@ -289,11 +306,9 @@ fn depth_first_beats_breadth_first_on_cache_reuse() {
                         ptdg_core::AccessMode::InOut
                     };
                     sub.submit(
-                        TaskSpec::new("stage")
-                            .depend(h, mode)
-                            .work(WorkDesc::compute(1e5).touching(HandleSlice::whole(
-                                h, self.bytes,
-                            ))),
+                        TaskSpec::new("stage").depend(h, mode).work(
+                            WorkDesc::compute(1e5).touching(HandleSlice::whole(h, self.bytes)),
+                        ),
                     );
                 }
             }
@@ -304,7 +319,11 @@ fn depth_first_beats_breadth_first_on_cache_reuse() {
     // the 1 MiB L2; each slice fits L2 individually.
     let bytes = 256 << 10;
     let a: Vec<DataHandle> = (0..64).map(|_| space.region("a", bytes)).collect();
-    let prog = TwoStage { a, bytes, stages: 2 };
+    let prog = TwoStage {
+        a,
+        bytes,
+        stages: 2,
+    };
     let m = MachineConfig::tiny(2);
     let df = simulate_tasks(
         &m,
@@ -569,7 +588,9 @@ fn bsp_large_footprint_thrashes_and_tasks_with_small_slices_do_not() {
     };
     let mut space_t = HandleSpace::new();
     let slice_bytes = total_bytes / n_slices as u64;
-    let handles: Vec<DataHandle> = (0..n_slices).map(|_| space_t.region("s", slice_bytes)).collect();
+    let handles: Vec<DataHandle> = (0..n_slices)
+        .map(|_| space_t.region("s", slice_bytes))
+        .collect();
     struct SliceChains {
         handles: Vec<DataHandle>,
         bytes: u64,
@@ -626,14 +647,22 @@ fn jitter_is_deterministic_and_bounded() {
     };
     let a = simulate_tasks(&m, &cfg, &space, &prog);
     let b = simulate_tasks(&m, &cfg, &space, &prog);
-    assert_eq!(a.rank(0).work_ns, b.rank(0).work_ns, "same seed, same times");
+    assert_eq!(
+        a.rank(0).work_ns,
+        b.rank(0).work_ns,
+        "same seed, same times"
+    );
     let other = SimConfig {
         work_jitter: 0.2,
         seed: 99,
         ..Default::default()
     };
     let c = simulate_tasks(&m, &other, &space, &prog);
-    assert_ne!(a.rank(0).work_ns, c.rank(0).work_ns, "different seed differs");
+    assert_ne!(
+        a.rank(0).work_ns,
+        c.rank(0).work_ns,
+        "different seed differs"
+    );
     // bounded: total work within ±20% of the jitter-free run
     let clean = simulate_tasks(&m, &SimConfig::default(), &space, &prog);
     let ratio = a.rank(0).work_ns as f64 / clean.rank(0).work_ns as f64;

@@ -67,7 +67,13 @@ fn main() {
         );
         let b_ms = base.rank(0).discovery_ns as f64 / 1e6;
         let p_ms = pers.rank(0).discovery_ns as f64 / 1e6;
-        println!("{:>6} {:>16.2} {:>16.2} {:>8.1}x", iters, b_ms, p_ms, b_ms / p_ms);
+        println!(
+            "{:>6} {:>16.2} {:>16.2} {:>8.1}x",
+            iters,
+            b_ms,
+            p_ms,
+            b_ms / p_ms
+        );
     }
     println!("\n(the asymptotic speedup is the paper's ~5x; total time is");
     println!(" unaffected because coarse tiles make discovery <2% of the run)");

@@ -33,10 +33,7 @@ impl RankProgram for ManyTinyTasks {
                     .depend(self.handles[i], ptdg::core::AccessMode::InOut)
                     .depend(self.handles[(i + 1) % n], ptdg::core::AccessMode::In)
                     .depend(self.handles[(i + 7) % n], ptdg::core::AccessMode::In)
-                    .work(
-                        WorkDesc::compute(2e4)
-                            .touching(HandleSlice::whole(self.handles[i], 512)),
-                    )
+                    .work(WorkDesc::compute(2e4).touching(HandleSlice::whole(self.handles[i], 512)))
                     .firstprivate_bytes(32),
             );
         }

@@ -1,0 +1,265 @@
+//! Cross-backend equivalence: one `RankProgram` value, run unmodified
+//! through `ptdg::run` on the thread executor and on the DES simulator,
+//! must discover the *identical* dependency graph — same task count, same
+//! edge count, same per-task predecessor sets — because both back-ends sit
+//! on the same runtime kernel. Where real state exists (single-rank apps
+//! on threads), the numeric results must be bitwise identical across run
+//! modes too.
+
+use proptest::prelude::*;
+use ptdg::cholesky::{CholeskyConfig, CholeskyTask};
+use ptdg::core::access::AccessMode;
+use ptdg::core::exec::{ExecConfig, ThreadsConfig};
+use ptdg::core::graph::GraphTemplate;
+use ptdg::core::handle::HandleSpace;
+use ptdg::core::opts::OptConfig;
+use ptdg::core::program::{Rank, RankProgram};
+use ptdg::core::task::TaskSpec;
+use ptdg::hpcg::{HpcgConfig, HpcgTask};
+use ptdg::lulesh::{LuleshConfig, LuleshTask, RankGrid};
+use ptdg::simrt::{MachineConfig, SimConfig};
+use ptdg::{run, Backend};
+
+/// Order-independent structural signature of a template: per node, its
+/// name, redirect flag, and sorted predecessor list.
+fn signature(g: &GraphTemplate) -> Vec<(String, bool, Vec<u32>)> {
+    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); g.n_nodes()];
+    for id in g.ids() {
+        for s in g.successors(id) {
+            preds[s.index()].push(id.0);
+        }
+    }
+    g.ids()
+        .map(|id| {
+            let n = g.node(id);
+            let mut p = std::mem::take(&mut preds[id.index()]);
+            p.sort_unstable();
+            (n.name.to_string(), n.is_redirect, p)
+        })
+        .collect()
+}
+
+fn threads_backend(opts: OptConfig, persistent: bool) -> Backend {
+    Backend::Threads(ThreadsConfig {
+        exec: ExecConfig {
+            n_workers: 2,
+            ..Default::default()
+        },
+        opts,
+        persistent,
+        capture_graph: true,
+        ..Default::default()
+    })
+}
+
+fn sim_backend(opts: OptConfig, persistent: bool, n_ranks: u32) -> Backend {
+    Backend::Sim {
+        machine: MachineConfig::tiny(4),
+        cfg: SimConfig {
+            n_ranks,
+            opts,
+            persistent,
+            capture_graph: true,
+            ..Default::default()
+        },
+    }
+}
+
+/// Run `prog` on both back-ends and assert the captured graphs match rank
+/// by rank (plus basic task/edge counters from discovery).
+fn assert_same_graphs(
+    space: &HandleSpace,
+    prog: &dyn RankProgram,
+    opts: OptConfig,
+    persistent: bool,
+) {
+    let t = run(space, prog, threads_backend(opts, persistent));
+    let s = run(space, prog, sim_backend(opts, persistent, prog.n_ranks()));
+    assert_eq!(
+        t.graphs().len(),
+        s.graphs().len(),
+        "both back-ends capture one graph per rank"
+    );
+    for (rank, (gt, gs)) in t.graphs().iter().zip(s.graphs()).enumerate() {
+        assert_eq!(gt.n_tasks(), gs.n_tasks(), "rank {rank}: task count");
+        assert_eq!(gt.n_edges(), gs.n_edges(), "rank {rank}: edge count");
+        assert_eq!(
+            signature(gt),
+            signature(gs),
+            "rank {rank}: per-task predecessor sets"
+        );
+    }
+    let (ts, ss) = (t.stats(), s.stats());
+    assert_eq!(ts.tasks, ss.tasks, "discovered task counters");
+    assert_eq!(ts.depend_items, ss.depend_items, "depend-item counters");
+}
+
+#[test]
+fn lulesh_graphs_match_across_backends() {
+    let prog = LuleshTask::new(LuleshConfig::single(6, 2, 8));
+    for opts in [OptConfig::none(), OptConfig::all()] {
+        assert_same_graphs(&prog.space, &prog, opts, false);
+    }
+    assert_same_graphs(&prog.space, &prog, OptConfig::all(), true);
+}
+
+#[test]
+fn lulesh_multirank_graphs_match_across_backends() {
+    let cfg = LuleshConfig {
+        grid: RankGrid::cube(8),
+        ..LuleshConfig::single(6, 1, 8)
+    };
+    let prog = LuleshTask::new(cfg);
+    assert_same_graphs(&prog.space, &prog, OptConfig::all(), false);
+}
+
+#[test]
+fn hpcg_graphs_match_across_backends() {
+    let prog = HpcgTask::new(HpcgConfig::single(8, 2, 4));
+    for opts in [OptConfig::none(), OptConfig::all()] {
+        assert_same_graphs(&prog.space, &prog, opts, false);
+    }
+    assert_same_graphs(&prog.space, &prog, OptConfig::all(), true);
+}
+
+#[test]
+fn cholesky_graphs_match_across_backends() {
+    let prog = CholeskyTask::new(CholeskyConfig::single(5, 8, 2));
+    for opts in [OptConfig::none(), OptConfig::all()] {
+        assert_same_graphs(&prog.space, &prog, opts, false);
+    }
+    assert_same_graphs(&prog.space, &prog, OptConfig::all(), true);
+}
+
+#[test]
+fn numeric_results_identical_across_run_modes() {
+    // Where real state exists, `ptdg::run` must leave it bitwise identical
+    // whichever thread-side mode executed the graph.
+    let digest_stream = {
+        let prog = LuleshTask::with_state(LuleshConfig::single(6, 4, 8));
+        run(&prog.space, &prog, threads_backend(OptConfig::all(), false));
+        prog.state.as_ref().unwrap().digest()
+    };
+    let digest_persistent = {
+        let prog = LuleshTask::with_state(LuleshConfig::single(6, 4, 8));
+        run(&prog.space, &prog, threads_backend(OptConfig::all(), true));
+        prog.state.as_ref().unwrap().digest()
+    };
+    assert_eq!(digest_stream, digest_persistent, "lulesh digests");
+    let reference = ptdg::lulesh::sequential::run_sequential(6, 4, 8).digest();
+    assert_eq!(digest_stream, reference, "lulesh matches sequential");
+
+    let hpcg_stream = {
+        let prog = HpcgTask::with_state(HpcgConfig::single(8, 3, 4));
+        run(&prog.space, &prog, threads_backend(OptConfig::all(), false));
+        prog.state.as_ref().unwrap().digest()
+    };
+    let hpcg_persistent = {
+        let prog = HpcgTask::with_state(HpcgConfig::single(8, 3, 4));
+        run(&prog.space, &prog, threads_backend(OptConfig::all(), true));
+        prog.state.as_ref().unwrap().digest()
+    };
+    assert_eq!(hpcg_stream, hpcg_persistent, "hpcg digests");
+
+    let chol_stream = {
+        let prog = CholeskyTask::with_matrix(CholeskyConfig::single(4, 8, 2), 42);
+        run(&prog.space, &prog, threads_backend(OptConfig::all(), false));
+        prog.matrix.as_ref().unwrap().digest()
+    };
+    let chol_persistent = {
+        let prog = CholeskyTask::with_matrix(CholeskyConfig::single(4, 8, 2), 42);
+        run(&prog.space, &prog, threads_backend(OptConfig::all(), true));
+        prog.matrix.as_ref().unwrap().digest()
+    };
+    assert_eq!(chol_stream, chol_persistent, "cholesky digests");
+}
+
+// ---- random-DAG programs ------------------------------------------------
+
+const N_HANDLES: usize = 6;
+
+/// A random dependent-task program: per task, 1..=3 `(handle, mode)`
+/// depend items, replayed identically each iteration.
+#[derive(Clone, Debug)]
+struct RandomProgram {
+    space: HandleSpace,
+    handles: Vec<ptdg::core::handle::DataHandle>,
+    tasks: Vec<Vec<(usize, u8)>>,
+    iters: u64,
+}
+
+impl RandomProgram {
+    fn new(tasks: Vec<Vec<(usize, u8)>>, iters: u64) -> RandomProgram {
+        let mut space = HandleSpace::new();
+        let handles = (0..N_HANDLES).map(|_| space.region("h", 64)).collect();
+        RandomProgram {
+            space,
+            handles,
+            tasks,
+            iters,
+        }
+    }
+}
+
+fn mode_of(m: u8) -> AccessMode {
+    match m {
+        0 => AccessMode::In,
+        1 => AccessMode::Out,
+        2 => AccessMode::InOut,
+        _ => AccessMode::InOutSet,
+    }
+}
+
+impl RankProgram for RandomProgram {
+    fn n_iterations(&self) -> u64 {
+        self.iters
+    }
+    fn build_iteration(
+        &self,
+        _rank: Rank,
+        _iter: u64,
+        sub: &mut dyn ptdg::core::builder::TaskSubmitter,
+    ) {
+        for deps in &self.tasks {
+            let mut spec = TaskSpec::new("t");
+            let mut seen = Vec::new();
+            for &(h, m) in deps {
+                if seen.contains(&h) {
+                    continue; // one access per handle per task
+                }
+                seen.push(h);
+                spec = spec.depend(self.handles[h], mode_of(m));
+            }
+            sub.submit(spec);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_programs_discover_identical_graphs(
+        tasks in prop::collection::vec(
+            prop::collection::vec((0..N_HANDLES, 0..4u8), 1..=3),
+            1..=24,
+        ),
+        iters in 1..=2u64,
+        all_opts in 0..2u8,
+    ) {
+        let opts = if all_opts == 1 { OptConfig::all() } else { OptConfig::none() };
+        let prog = RandomProgram::new(tasks, iters);
+        assert_same_graphs(&prog.space, &prog, opts, false);
+    }
+
+    #[test]
+    fn random_persistent_programs_discover_identical_graphs(
+        tasks in prop::collection::vec(
+            prop::collection::vec((0..N_HANDLES, 0..4u8), 1..=3),
+            1..=16,
+        ),
+    ) {
+        let prog = RandomProgram::new(tasks, 2);
+        assert_same_graphs(&prog.space, &prog, OptConfig::all(), true);
+    }
+}

@@ -80,8 +80,8 @@ fn streaming_iterations_also_match() {
 #[test]
 fn optimizations_are_neutral_for_cholesky_edges() {
     // Paper §4.4: (b)/(c) do not change the dense regular scheme.
-    use ptdg::core::graph::{DiscoveryEngine, TemplateRecorder};
     use ptdg::core::builder::RecordingSubmitter;
+    use ptdg::core::graph::{DiscoveryEngine, TemplateRecorder};
     let cfg = CholeskyConfig::single(6, 4, 1);
     let prog = CholeskyTask::new(cfg);
     let mut rec = RecordingSubmitter::default();

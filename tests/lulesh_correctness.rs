@@ -100,7 +100,12 @@ fn persistent_region_matches_sequential_bitwise() {
 fn worker_count_does_not_change_physics() {
     let cfg = LuleshConfig::single(S, ITERS, TPL);
     for workers in [1, 2, 4] {
-        let got = run_tasks(cfg.clone(), workers, SchedPolicy::DepthFirst, OptConfig::all());
+        let got = run_tasks(
+            cfg.clone(),
+            workers,
+            SchedPolicy::DepthFirst,
+            OptConfig::all(),
+        );
         assert_eq!(got, reference_digest(), "{workers} workers diverged");
     }
 }

@@ -106,7 +106,12 @@ fn lulesh_task_version_beats_parallel_for_intranode() {
     // (s = 96 ≈ 85 MB of arrays vs 33 MB L3).
     let s = 96;
     let bsp_prog = LuleshBsp::new(LuleshConfig::single(s, 2, 1));
-    let bsp = simulate_bsp(&machine(), &SimConfig::default(), &bsp_prog.space, &bsp_prog);
+    let bsp = simulate_bsp(
+        &machine(),
+        &SimConfig::default(),
+        &bsp_prog.space,
+        &bsp_prog,
+    );
     let task_prog = LuleshTask::new(LuleshConfig::single(s, 2, 128));
     let tasks = simulate_tasks(
         &machine(),
@@ -141,7 +146,12 @@ fn lulesh_distributed_overlap_beats_bsp() {
         ..Default::default()
     };
     let task_prog = LuleshTask::new(cfg.clone());
-    let tasks = simulate_tasks(&MachineConfig::epyc_16(), &sim, &task_prog.space, &task_prog);
+    let tasks = simulate_tasks(
+        &MachineConfig::epyc_16(),
+        &sim,
+        &task_prog.space,
+        &task_prog,
+    );
     let bsp_prog = LuleshBsp::new(cfg);
     let bsp = simulate_bsp(&MachineConfig::epyc_16(), &sim, &bsp_prog.space, &bsp_prog);
     // overlap exists for tasks, none for BSP
