@@ -6,7 +6,7 @@
 //! cargo run --release -p ptdg-bench --bin cholesky_bench
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, s};
+use ptdg_bench::{arr, emit_json, maybe_trace, obj, quick, rule, s};
 use ptdg_cholesky::{CholeskyConfig, CholeskyTask};
 use ptdg_core::opts::OptConfig;
 use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
@@ -137,4 +137,11 @@ fn main() {
             ("distributed_comm_rank0_s", r.rank(0).comm_s().into()),
         ]),
     );
+    // Trace a persistent 4-iteration factorization on one rank.
+    let prog = CholeskyTask::new(CholeskyConfig::single(nt, b, 4));
+    let sim = SimConfig {
+        persistent: true,
+        ..Default::default()
+    };
+    maybe_trace("cholesky", &machine, &sim, &prog.space, &prog);
 }

@@ -10,7 +10,9 @@
 //! cargo run --release -p ptdg-bench --bin fig1
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP};
+use ptdg_bench::{
+    arr, emit_json, maybe_trace, obj, quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP,
+};
 use ptdg_core::opts::OptConfig;
 use ptdg_lulesh::{LuleshBsp, LuleshConfig, LuleshTask};
 use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
@@ -93,4 +95,14 @@ fn main() {
             ("rows", arr(rows)),
         ]),
     );
+    let cfg = LuleshConfig {
+        fused_deps: false,
+        ..LuleshConfig::single(mesh_s, iters, best.0)
+    };
+    let prog = LuleshTask::new(cfg);
+    let sim = SimConfig {
+        opts: OptConfig::redirect_only(),
+        ..Default::default()
+    };
+    maybe_trace("fig1", &machine, &sim, &prog.space, &prog);
 }

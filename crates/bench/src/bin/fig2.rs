@@ -7,7 +7,9 @@
 //! cargo run --release -p ptdg-bench --bin fig2
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP};
+use ptdg_bench::{
+    arr, emit_json, maybe_trace, obj, quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP,
+};
 use ptdg_lulesh::{LuleshConfig, LuleshTask};
 use ptdg_simrt::{simulate_tasks, MachineConfig, RankReport, SimConfig};
 
@@ -151,4 +153,11 @@ fn main() {
             ),
         ]),
     );
+    let mid_tpl = TPL_SWEEP[TPL_SWEEP.len() / 2];
+    let cfg = LuleshConfig {
+        fused_deps: false,
+        ..LuleshConfig::single(mesh_s, iters, mid_tpl)
+    };
+    let prog = LuleshTask::new(cfg);
+    maybe_trace("fig2", &machine, &SimConfig::default(), &prog.space, &prog);
 }

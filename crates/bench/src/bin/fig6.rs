@@ -5,7 +5,9 @@
 //! cargo run --release -p ptdg-bench --bin fig6
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP};
+use ptdg_bench::{
+    arr, emit_json, maybe_trace, obj, quick, rule, s, INTRA_ITERS, INTRA_S, TPL_SWEEP,
+};
 use ptdg_core::opts::OptConfig;
 use ptdg_lulesh::{LuleshBsp, LuleshConfig, LuleshTask};
 use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
@@ -96,4 +98,11 @@ fn main() {
             ("rows", arr(rows)),
         ]),
     );
+    let prog = LuleshTask::new(LuleshConfig::single(mesh_s, iters, best.0));
+    let sim = SimConfig {
+        opts: OptConfig::all(),
+        persistent: true,
+        ..Default::default()
+    };
+    maybe_trace("fig6", &machine, &sim, &prog.space, &prog);
 }

@@ -11,7 +11,7 @@
 //! PTDG_QUICK=1 cargo run --release -p ptdg-bench --bin fig7
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, s, Json};
+use ptdg_bench::{arr, emit_json, maybe_trace, obj, quick, rule, s, Json};
 use ptdg_core::opts::OptConfig;
 use ptdg_lulesh::{LuleshBsp, LuleshConfig, LuleshTask, RankGrid};
 use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
@@ -163,4 +163,11 @@ fn main() {
             ("taskwait_free_s", free.total_time_s().into()),
         ]),
     );
+    // Trace rank 0 of the optimized distributed run (comm tasks included).
+    let cfg = LuleshConfig {
+        grid,
+        ..LuleshConfig::single(mesh_s, iters, tpl)
+    };
+    let prog = LuleshTask::new(cfg);
+    maybe_trace("fig7", &machine, &sim, &prog.space, &prog);
 }

@@ -12,7 +12,7 @@
 //! cargo run --release -p ptdg-bench --bin fig8
 //! ```
 
-use ptdg_bench::{emit_json, obj, quick, Json};
+use ptdg_bench::{emit_json, maybe_trace, obj, quick, Json};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::profile::render_ascii_gantt;
 use ptdg_lulesh::{LuleshConfig, LuleshTask, RankGrid};
@@ -97,4 +97,18 @@ fn main() {
             ("variants", Json::Arr(variants)),
         ]),
     );
+    // The Chrome-trace counterpart of the ASCII Gantt: optimized variant.
+    let cfg = LuleshConfig {
+        grid,
+        ..LuleshConfig::single(mesh_s, iters, tpl)
+    };
+    let prog = LuleshTask::new(cfg);
+    let sim = SimConfig {
+        n_ranks: ranks,
+        opts: OptConfig::all(),
+        persistent: true,
+        work_jitter: 0.10,
+        ..Default::default()
+    };
+    maybe_trace("fig8", &machine, &sim, &prog.space, &prog);
 }

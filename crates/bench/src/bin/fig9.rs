@@ -9,7 +9,7 @@
 //! cargo run --release -p ptdg-bench --bin fig9
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, s};
+use ptdg_bench::{arr, emit_json, maybe_trace, obj, quick, rule, s};
 use ptdg_hpcg::{HpcgBsp, HpcgConfig, HpcgTask};
 use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
 
@@ -112,4 +112,10 @@ fn main() {
             ("rows", arr(rows)),
         ]),
     );
+    let cfg = HpcgConfig {
+        px: 2,
+        ..HpcgConfig::single(nx, iters, best.0)
+    };
+    let prog = HpcgTask::new(cfg);
+    maybe_trace("fig9", &machine, &sim0, &prog.space, &prog);
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p ptdg-bench --bin metg
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, s, Json};
+use ptdg_bench::{arr, emit_json, maybe_trace, obj, quick, rule, s, Json};
 use ptdg_core::opts::OptConfig;
 use ptdg_lulesh::{LuleshConfig, LuleshTask};
 use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
@@ -88,4 +88,12 @@ fn main() {
             ),
         ]),
     );
+    // Trace the finest-grain configuration (the METG regime).
+    let prog = LuleshTask::new(LuleshConfig::single(mesh_s, iters, *sweep.last().unwrap()));
+    let sim = SimConfig {
+        opts: OptConfig::all(),
+        persistent: true,
+        ..Default::default()
+    };
+    maybe_trace("metg", &machine, &sim, &prog.space, &prog);
 }

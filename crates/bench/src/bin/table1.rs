@@ -6,7 +6,7 @@
 //! cargo run --release -p ptdg-bench --bin table1
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, INTRA_ITERS, INTRA_S};
+use ptdg_bench::{arr, emit_json, maybe_trace, obj, quick, rule, INTRA_ITERS, INTRA_S};
 use ptdg_lulesh::{LuleshConfig, LuleshTask};
 use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
 
@@ -84,6 +84,18 @@ fn main() {
             ("rows", arr(rows)),
         ]),
     );
+    // Trace the non-overlapped instance: the serial unroll shows up as one
+    // long discovery span before any worker track lights up.
+    let cfg = LuleshConfig {
+        fused_deps: false,
+        ..LuleshConfig::single(mesh_s, iters, fine_tpl)
+    };
+    let prog = LuleshTask::new(cfg);
+    let sim = SimConfig {
+        non_overlapped: true,
+        ..Default::default()
+    };
+    maybe_trace("table1", &machine, &sim, &prog.space, &prog);
 }
 
 // Cumulated work/idle helpers live on RankReport.

@@ -6,7 +6,7 @@
 //! cargo run --release -p ptdg-bench --bin table2
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, s, INTRA_ITERS, INTRA_S};
+use ptdg_bench::{arr, emit_json, maybe_trace, obj, quick, rule, s, INTRA_ITERS, INTRA_S};
 use ptdg_core::opts::OptConfig;
 use ptdg_lulesh::{LuleshConfig, LuleshTask};
 use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig};
@@ -102,4 +102,13 @@ fn main() {
             ("rows", arr(json_rows)),
         ]),
     );
+    // Trace the fully optimized configuration (a)+(b)+(c)+(p).
+    let cfg = LuleshConfig::single(mesh_s, iters, tpl);
+    let prog = LuleshTask::new(cfg);
+    let sim = SimConfig {
+        opts: OptConfig::all(),
+        persistent: true,
+        ..Default::default()
+    };
+    maybe_trace("table2", &machine, &sim, &prog.space, &prog);
 }

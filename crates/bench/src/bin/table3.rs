@@ -16,7 +16,7 @@
 //! PTDG_QUICK=1 cargo run --release -p ptdg-bench --bin table3
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, s};
+use ptdg_bench::{arr, emit_json, maybe_trace, obj, quick, rule, s};
 use ptdg_core::opts::OptConfig;
 use ptdg_lulesh::{LuleshBsp, LuleshConfig, LuleshTask, RankGrid};
 use ptdg_simrt::{simulate_bsp, simulate_tasks, MachineConfig, SimConfig};
@@ -138,5 +138,26 @@ fn main() {
             ("weak_scaling", arr(weak_rows)),
             ("strong_scaling", arr(strong_rows)),
         ]),
+    );
+    // Trace the largest weak-scaling task run.
+    let p = *plist.last().unwrap();
+    let cfg = LuleshConfig {
+        grid: RankGrid::cube(p),
+        ..LuleshConfig::single(weak_s, iters, 128)
+    };
+    let prog = LuleshTask::new(cfg);
+    let sim = SimConfig {
+        n_ranks: p as u32,
+        opts: OptConfig::all(),
+        persistent: true,
+        work_jitter: 0.10,
+        ..Default::default()
+    };
+    maybe_trace(
+        "table3",
+        &MachineConfig::epyc_16(),
+        &sim,
+        &prog.space,
+        &prog,
     );
 }

@@ -6,7 +6,7 @@
 //! cargo run --release -p ptdg-bench --bin throttle
 //! ```
 
-use ptdg_bench::{arr, emit_json, obj, quick, rule, s};
+use ptdg_bench::{arr, emit_json, maybe_trace, obj, quick, rule, s};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::throttle::ThrottleConfig;
 use ptdg_lulesh::{LuleshConfig, LuleshTask};
@@ -74,4 +74,14 @@ fn main() {
             ("rows", arr(rows)),
         ]),
     );
+    // Trace the tight ready-bound run: throttle_stalls shows up in the
+    // counter metadata and the producer track goes quiet at the bound.
+    let prog = LuleshTask::new(LuleshConfig::single(mesh_s, iters, tpl));
+    let sim = SimConfig {
+        opts: OptConfig::all(),
+        persistent: true,
+        throttle: ThrottleConfig::ready_bound(32),
+        ..Default::default()
+    };
+    maybe_trace("throttle", &machine, &sim, &prog.space, &prog);
 }

@@ -26,24 +26,34 @@
 //! discovery-boundness, cache thrash, rendezvous stalls — governs each
 //! result; see `EXPERIMENTS.md` for the mapping and measured numbers).
 
-use ptdg_simrt::RankReport;
+use ptdg_core::handle::HandleSpace;
+use ptdg_core::obs::{chrome_trace, critical_path};
+use ptdg_core::program::RankProgram;
+use ptdg_simrt::{simulate_tasks, MachineConfig, RankReport, SimConfig};
 use std::path::PathBuf;
+
+// The hand-rolled JSON writer moved into the core observability module
+// (the Chrome-trace exporter needs it without a bench dependency); the
+// harnesses keep using it from here.
+pub use ptdg_core::obs::json::{arr, obj, Json};
 
 /// Whether `PTDG_QUICK=1` is set: harnesses shrink their problem sizes
 /// for smoke-testing (results keep their shape but lose fidelity).
 ///
 /// Every harness calls this before doing any work, so it doubles as the
-/// early CLI check: a malformed or unwritable `--json` target fails here
-/// rather than after a multi-minute run.
+/// early CLI check: a malformed or unwritable `--json` / `--trace` target
+/// fails here rather than after a multi-minute run.
 pub fn quick() -> bool {
-    if let Some(path) = json_path() {
-        if let Err(e) = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-        {
-            eprintln!("cannot write --json target {}: {e}", path.display());
-            std::process::exit(2);
+    for (flag, path) in [("--json", json_path()), ("--trace", trace_path())] {
+        if let Some(path) = path {
+            if let Err(e) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                eprintln!("cannot write {flag} target {}: {e}", path.display());
+                std::process::exit(2);
+            }
         }
     }
     std::env::var("PTDG_QUICK")
@@ -53,151 +63,74 @@ pub fn quick() -> bool {
 
 // ---- structured output ---------------------------------------------------
 
-/// A JSON value (the workspace is offline: no serde, so the harnesses
-/// carry their own minimal writer).
-#[derive(Clone, Debug)]
-pub enum Json {
-    /// `null`
-    Null,
-    /// `true` / `false`
-    Bool(bool),
-    /// Any number (integers round-trip exactly up to 2^53).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl From<bool> for Json {
-    fn from(v: bool) -> Json {
-        Json::Bool(v)
-    }
-}
-impl From<f64> for Json {
-    fn from(v: f64) -> Json {
-        Json::Num(v)
-    }
-}
-impl From<u64> for Json {
-    fn from(v: u64) -> Json {
-        Json::Num(v as f64)
-    }
-}
-impl From<usize> for Json {
-    fn from(v: usize) -> Json {
-        Json::Num(v as f64)
-    }
-}
-impl From<&str> for Json {
-    fn from(v: &str) -> Json {
-        Json::Str(v.to_string())
-    }
-}
-impl From<String> for Json {
-    fn from(v: String) -> Json {
-        Json::Str(v)
-    }
-}
-
-/// Build a [`Json::Obj`] from `(key, value)` pairs.
-pub fn obj<const N: usize>(fields: [(&str, Json); N]) -> Json {
-    Json::Obj(
-        fields
-            .into_iter()
-            .map(|(k, v)| (k.to_string(), v))
-            .collect(),
-    )
-}
-
-/// Build a [`Json::Arr`].
-pub fn arr(items: Vec<Json>) -> Json {
-    Json::Arr(items)
-}
-
-impl Json {
-    fn render_into(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Num(v) => {
-                if v.is_finite() {
-                    if v.fract() == 0.0 && v.abs() < 9e15 {
-                        out.push_str(&format!("{}", *v as i64));
-                    } else {
-                        out.push_str(&format!("{v}"));
-                    }
-                } else {
-                    out.push_str("null"); // JSON has no NaN/Inf
-                }
-            }
-            Json::Str(s) => {
-                out.push('"');
-                for c in s.chars() {
-                    match c {
-                        '"' => out.push_str("\\\""),
-                        '\\' => out.push_str("\\\\"),
-                        '\n' => out.push_str("\\n"),
-                        '\t' => out.push_str("\\t"),
-                        '\r' => out.push_str("\\r"),
-                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                        c => out.push(c),
-                    }
-                }
-                out.push('"');
-            }
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.render_into(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(fields) => {
-                out.push('{');
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    Json::Str(k.clone()).render_into(out);
-                    out.push(':');
-                    v.render_into(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-
-    /// Serialize to a JSON string.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out);
-        out
-    }
-}
-
-/// The `--json <path>` argument, if present on the command line.
-pub fn json_path() -> Option<PathBuf> {
+/// The value of a `--<name> <path>` (or `--<name>=<path>`) argument.
+fn path_arg(name: &str) -> Option<PathBuf> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--json" {
+        if a == flag {
             match args.next() {
                 Some(p) => return Some(PathBuf::from(p)),
                 None => {
-                    eprintln!("--json requires a path argument");
+                    eprintln!("{flag} requires a path argument");
                     std::process::exit(2);
                 }
             }
-        } else if let Some(p) = a.strip_prefix("--json=") {
+        } else if let Some(p) = a.strip_prefix(&prefix) {
             return Some(PathBuf::from(p));
         }
     }
     None
+}
+
+/// The `--json <path>` argument, if present on the command line.
+pub fn json_path() -> Option<PathBuf> {
+    path_arg("json")
+}
+
+/// The `--trace <path>` argument, if present on the command line: every
+/// harness then re-runs one representative configuration with full
+/// observability and writes a Chrome trace-event JSON there (load it at
+/// <https://ui.perfetto.dev>).
+pub fn trace_path() -> Option<PathBuf> {
+    path_arg("trace")
+}
+
+/// If `--trace <path>` was passed, re-run `program` under `cfg` with full
+/// observability turned on (rank-0 lifecycle events + Gantt spans +
+/// captured graph), write a Chrome trace-event JSON to the path, and print
+/// the critical-path report. A no-op without the flag, so harnesses call
+/// it unconditionally with their representative configuration.
+pub fn maybe_trace(
+    bench: &str,
+    machine: &MachineConfig,
+    cfg: &SimConfig,
+    space: &HandleSpace,
+    program: &dyn RankProgram,
+) {
+    let Some(path) = trace_path() else { return };
+    let cfg = SimConfig {
+        record_trace_rank: Some(0),
+        capture_graph: true,
+        ..cfg.clone()
+    };
+    let report = simulate_tasks(machine, &cfg, space, program);
+    let rank = report.rank(0);
+    let trace = report.trace.as_ref().expect("record_trace_rank was set");
+    let doc = chrome_trace(trace, &report.events, &rank.counters);
+    if let Err(e) = std::fs::write(&path, doc.render() + "\n") {
+        eprintln!("failed to write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "\n[{bench}] chrome trace written to {} (load at https://ui.perfetto.dev)",
+        path.display()
+    );
+    if let Some(graph) = report.graphs.first() {
+        let cp = critical_path(graph, &report.events, rank.span_ns, machine.n_cores);
+        println!("{}", cp.render(5));
+    }
 }
 
 /// If `--json <path>` was passed, wrap `data` in a standard envelope

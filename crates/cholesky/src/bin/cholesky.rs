@@ -7,9 +7,11 @@
 
 use ptdg_cholesky::{CholeskyConfig, CholeskyTask};
 use ptdg_core::exec::{ExecConfig, Executor, SchedPolicy};
+use ptdg_core::obs::{chrome_trace, critical_path};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::throttle::ThrottleConfig;
 use ptdg_simrt::RankProgram;
+use std::path::PathBuf;
 
 fn main() {
     let mut nt = 6usize;
@@ -19,6 +21,7 @@ fn main() {
     let mut workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut trace: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
     while k < argv.len() {
@@ -29,9 +32,17 @@ fn main() {
             ("--repeats", Some(v)) => repeats = v,
             ("--seed", Some(v)) => seed = v,
             ("--workers", Some(v)) => workers = v as usize,
+            ("--trace", _) => match argv.get(k + 1) {
+                Some(p) => trace = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("missing path after --trace");
+                    std::process::exit(2);
+                }
+            },
             ("-h", _) | ("--help", _) => {
                 eprintln!(
-                    "usage: cholesky [--nt T] [--b B] [--repeats R] [--seed S] [--workers W]"
+                    "usage: cholesky [--nt T] [--b B] [--repeats R] [--seed S] [--workers W] \
+                     [--trace out.json]"
                 );
                 return;
             }
@@ -49,7 +60,7 @@ fn main() {
         n_workers: workers,
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::mpc_default(),
-        profile: false,
+        profile: trace.is_some(),
     });
     let t0 = std::time::Instant::now();
     let mut region = exec.persistent_region(OptConfig::all());
@@ -75,5 +86,25 @@ fn main() {
         t.n_tasks(),
         t.n_edges()
     );
+    if let Some(path) = &trace {
+        let mut obs = exec.take_obs();
+        let created = obs.counters.tasks_created;
+        obs.counters
+            .absorb_discovery(&region.first_iteration_stats());
+        obs.counters.tasks_created = created;
+        let doc = chrome_trace(&obs.trace, &obs.events, &obs.counters);
+        if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "chrome trace written to {} (load at https://ui.perfetto.dev)",
+            path.display()
+        );
+        println!(
+            "{}",
+            critical_path(t, &obs.events, obs.trace.span_ns, workers).render(5)
+        );
+    }
     assert!(err < 1e-8, "factorization failed verification");
 }

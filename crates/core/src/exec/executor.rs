@@ -7,9 +7,10 @@
 
 use super::persistent::PersistentRegion;
 use super::session::Session;
+use crate::obs::{EventRecorder, ObsReport};
 use crate::opts::OptConfig;
 use crate::profile::{Span, SpanKind, Trace};
-use crate::rt::{HoldGate, ReadyQueues, ReadyTracker, RtNode, RtProbe, SpanCollector};
+use crate::rt::{HoldGate, ReadyQueues, ReadyTracker, RtNode, RtProbe};
 use crate::task::TaskCtx;
 use crate::throttle::{ThrottleConfig, ThrottleGate};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,10 +54,17 @@ pub(crate) struct Pool {
     pub throttle: ThrottleGate,
     pub shutdown: AtomicBool,
     pub profile: bool,
-    /// One lane per worker plus one for the producer (last).
-    pub spans: SpanCollector,
+    /// Lock-free span/event sink; one lane per worker plus one for the
+    /// producer (last). Implements [`RtProbe`], so it is also the probe
+    /// the kernel emit sites narrate through.
+    pub recorder: Arc<EventRecorder>,
     pub start: Instant,
     pub last_discovery_ns: AtomicU64,
+    /// Producer throttle stalls (count and helping time, ns).
+    pub throttle_stalls: AtomicU64,
+    pub throttle_stall_ns: AtomicU64,
+    /// Communication tasks whose side effect was posted.
+    pub comms_posted: AtomicU64,
     n_workers: usize,
 }
 
@@ -65,9 +73,35 @@ impl Pool {
         self.start.elapsed().as_nanos() as u64
     }
 
+    /// Clock read for lifecycle narration: free when profiling is off.
+    fn probe_now(&self) -> u64 {
+        if self.profile {
+            self.now_ns()
+        } else {
+            0
+        }
+    }
+
     /// Publish a task that just became ready; `local` is the core whose
     /// deque should receive it under depth-first (`None` = producer).
+    ///
+    /// Redirect nodes (optimization (c)) never queue: they carry no body,
+    /// so they complete inline, immediately releasing their successors —
+    /// the same shortcut the simulator takes, which keeps both back-ends'
+    /// lifecycle streams identical (`Created → Ready → Completed`, no
+    /// `Scheduled`, gate bypassed: a redirect "runs" the moment its
+    /// predecessors are done even in non-overlapped mode, because its
+    /// successors are still held by the gate).
     pub fn make_ready(&self, node: Arc<RtNode>, local: Option<usize>) {
+        if node.is_redirect {
+            let core = local.unwrap_or(self.n_workers);
+            let done = node.complete_with(&*self.recorder, core, self.probe_now());
+            self.tracker.completed();
+            for succ in done.ready {
+                self.make_ready(succ, local);
+            }
+            return;
+        }
         if let Some(node) = self.gate.offer(node) {
             self.tracker.became_ready();
             self.queues.push(node, local);
@@ -85,7 +119,7 @@ impl Pool {
     /// Find a ready task from the perspective of worker `idx`
     /// (`None` = the producer).
     pub fn find_task(&self, idx: Option<usize>) -> Option<Arc<RtNode>> {
-        let found = self.queues.pop(idx);
+        let found = self.queues.pop_with(idx, &*self.recorder, self.probe_now());
         if found.is_some() {
             self.tracker.scheduled();
         }
@@ -104,17 +138,21 @@ impl Pool {
         if let Some(body) = &node.body {
             body(&ctx);
         }
+        let t1 = if self.profile { self.now_ns() } else { 0 };
         if self.profile {
-            self.spans.span(Span {
+            self.recorder.span(Span {
                 worker: worker_idx as u32,
                 start_ns: t0,
-                end_ns: self.now_ns(),
+                end_ns: t1,
                 kind: SpanKind::Work,
                 name: node.name,
                 iter: ctx.iter,
             });
         }
-        for succ in node.complete().ready {
+        if node.comm.is_some() {
+            self.comms_posted.fetch_add(1, Ordering::SeqCst);
+        }
+        for succ in node.complete_with(&*self.recorder, worker_idx, t1).ready {
             self.make_ready(succ, local);
         }
         self.tracker.completed();
@@ -168,9 +206,12 @@ impl Executor {
             throttle: ThrottleGate::new(cfg.throttle),
             shutdown: AtomicBool::new(false),
             profile: cfg.profile,
-            spans: SpanCollector::new(cfg.n_workers + 1),
+            recorder: Arc::new(EventRecorder::new(cfg.n_workers + 1, cfg.profile)),
             start: Instant::now(),
             last_discovery_ns: AtomicU64::new(0),
+            throttle_stalls: AtomicU64::new(0),
+            throttle_stall_ns: AtomicU64::new(0),
+            comms_posted: AtomicU64::new(0),
             n_workers: cfg.n_workers,
         });
         let workers = (0..cfg.n_workers)
@@ -212,9 +253,11 @@ impl Executor {
         Session::new(self, opts, true, false)
     }
 
-    /// Start a capturing session (used by persistent regions and graph
-    /// equivalence checks).
-    pub(crate) fn session_capturing(&self, opts: OptConfig) -> Session<'_> {
+    /// Start a capturing session: streams and executes normally while a
+    /// [`crate::graph::TemplateRecorder`] mirrors every node and edge.
+    /// Used by persistent regions, graph equivalence checks, and
+    /// post-mortem critical-path analysis (which needs the executed DAG).
+    pub fn session_capturing(&self, opts: OptConfig) -> Session<'_> {
         Session::new(self, opts, false, true)
     }
 
@@ -225,10 +268,31 @@ impl Executor {
 
     /// Collect and clear the recorded trace (requires `cfg.profile`).
     pub fn take_trace(&self) -> Trace {
-        self.pool.spans.take_trace(
+        self.take_obs().trace
+    }
+
+    /// Collect and clear everything observability recorded — spans,
+    /// lifecycle events, and the kernel counters this executor can fill
+    /// on its own (discovery statistics are the session's to add via
+    /// [`crate::obs::RtCounters::absorb_discovery`]). Wall-clock
+    /// timestamps are rebased to the earliest record.
+    pub fn take_obs(&self) -> ObsReport {
+        let mut obs = self.pool.recorder.finish(
+            true,
             self.cfg.n_workers + 1,
             self.pool.last_discovery_ns.load(Ordering::SeqCst),
-        )
+        );
+        let c = &mut obs.counters;
+        let created = self.pool.tracker.created_total() as u64;
+        c.tasks_created = created;
+        c.tasks_completed = created - self.pool.tracker.live() as u64;
+        c.ready_hwm = self.pool.tracker.ready_hwm() as u64;
+        c.live_hwm = self.pool.tracker.live_hwm() as u64;
+        c.gate_held = self.pool.gate.held_total();
+        c.throttle_stalls = self.pool.throttle_stalls.load(Ordering::SeqCst);
+        c.throttle_stall_ns = self.pool.throttle_stall_ns.load(Ordering::SeqCst);
+        c.comms_posted = self.pool.comms_posted.load(Ordering::SeqCst);
+        obs
     }
 }
 

@@ -81,8 +81,9 @@ impl<'e> PersistentRegion<'e> {
         // plus the firstprivate "memcpy" (the iteration payload). The
         // thread back-end publishes the whole graph at once; only the
         // template's roots come back ready.
-        pinst.begin_iteration(iter, &pool.tracker);
-        for node in pinst.publish(0..pinst.len()) {
+        let now = pool.now_ns();
+        pinst.begin_iteration_with(iter, &pool.tracker, &*pool.recorder, now);
+        for node in pinst.publish_with(0..pinst.len(), &*pool.recorder, now) {
             pool.make_ready(node, None);
         }
         // Implicit end-of-iteration barrier.
@@ -110,6 +111,12 @@ impl<'e> PersistentRegion<'e> {
     /// Iterations executed so far.
     pub fn iterations_run(&self) -> u64 {
         self.iterations_run
+    }
+
+    /// Iterations served by re-instancing the captured template (paid no
+    /// discovery). The capturing iterations are `iterations_run - reuses`.
+    pub fn reuses(&self) -> u64 {
+        self.instance.as_ref().map_or(0, |i| i.reuses())
     }
 
     /// Ids of all captured tasks (for inspection).

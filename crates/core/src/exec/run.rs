@@ -8,7 +8,9 @@
 
 use super::executor::{ExecConfig, Executor};
 use crate::graph::{DiscoveryStats, GraphTemplate};
+use crate::obs::{RtCounters, RtEvent};
 use crate::opts::OptConfig;
+use crate::profile::Trace;
 use crate::program::RankProgram;
 use std::time::Instant;
 
@@ -45,6 +47,12 @@ pub struct ThreadsReport {
     pub graphs: Vec<GraphTemplate>,
     /// Wall-clock for the whole run, nanoseconds.
     pub elapsed_ns: u64,
+    /// Per-worker span trace (present when [`ExecConfig::profile`]).
+    pub trace: Option<Trace>,
+    /// Lifecycle event stream (empty unless profiling).
+    pub events: Vec<RtEvent>,
+    /// Kernel counters (zeroed unless profiling).
+    pub counters: RtCounters,
 }
 
 impl ThreadsReport {
@@ -66,12 +74,14 @@ pub fn run_program<P: RankProgram + ?Sized>(program: &P, cfg: &ThreadsConfig) ->
         n_ranks: program.n_ranks(),
         ..Default::default()
     };
+    let mut persistent_reuses = 0u64;
     for rank in 0..program.n_ranks() {
         if cfg.persistent {
             let mut region = exec.persistent_region(cfg.opts);
             for iter in 0..program.n_iterations() {
                 region.run(iter, |sub| program.build_iteration(rank, iter, sub));
             }
+            persistent_reuses += region.reuses();
             report.per_rank_stats.push(region.first_iteration_stats());
             report.discovery_ns.push(0);
             if cfg.capture_graph {
@@ -102,5 +112,19 @@ pub fn run_program<P: RankProgram + ?Sized>(program: &P, cfg: &ThreadsConfig) ->
         }
     }
     report.elapsed_ns = t0.elapsed().as_nanos() as u64;
+    if cfg.exec.profile {
+        let obs = exec.take_obs();
+        report.counters = obs.counters;
+        // The tracker already counted every created task (discovery and
+        // re-instanced); absorbing discovery stats would double-count it.
+        let created = report.counters.tasks_created;
+        for s in &report.per_rank_stats {
+            report.counters.absorb_discovery(s);
+        }
+        report.counters.tasks_created = created;
+        report.counters.persistent_reuses = persistent_reuses;
+        report.events = obs.events;
+        report.trace = Some(obs.trace);
+    }
     report
 }

@@ -4,11 +4,12 @@ use super::executor::Executor;
 use crate::builder::TaskSubmitter;
 use crate::graph::{DiscoveryEngine, DiscoveryStats, GraphTemplate};
 use crate::opts::OptConfig;
-use crate::rt::{GraphInstance, InstanceOptions};
+use crate::profile::{Span, SpanKind};
+use crate::rt::{GraphInstance, InstanceOptions, RtProbe};
 use crate::task::{TaskId, TaskSpec};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One sequential discovery stream plus the right to wait for its tasks.
 ///
@@ -23,6 +24,7 @@ pub struct Session<'e> {
     instance: GraphInstance,
     discovery_t0_ns: Option<u64>,
     discovery_t1_ns: u64,
+    iter: u64,
 }
 
 impl<'e> Session<'e> {
@@ -35,19 +37,24 @@ impl<'e> Session<'e> {
         if non_overlapped {
             exec.pool().gate.close();
         }
+        let mut instance = GraphInstance::new(
+            Arc::clone(&exec.pool().tracker),
+            InstanceOptions {
+                want_bodies: true,
+                keep_work: false,
+                capture,
+            },
+        );
+        // Discovery narrates creation/readiness through the pool's
+        // recorder (a no-op unless the executor profiles).
+        instance.set_probe(Arc::clone(&exec.pool().recorder) as Arc<dyn RtProbe>);
         Session {
             exec,
             engine: DiscoveryEngine::new(opts),
-            instance: GraphInstance::new(
-                Arc::clone(&exec.pool().tracker),
-                InstanceOptions {
-                    want_bodies: true,
-                    keep_work: false,
-                    capture,
-                },
-            ),
+            instance,
             discovery_t0_ns: None,
             discovery_t1_ns: 0,
+            iter: 0,
         }
     }
 
@@ -57,15 +64,32 @@ impl<'e> Session<'e> {
         let pool = Arc::clone(self.exec.pool());
         let now = pool.now_ns();
         self.discovery_t0_ns.get_or_insert(now);
+        self.instance.set_now_ns(now);
         let id = self.engine.submit(&mut self.instance, &spec);
         self.discovery_t1_ns = pool.now_ns();
+        if pool.profile {
+            pool.recorder.span(Span {
+                worker: self.exec.n_workers() as u32,
+                start_ns: now,
+                end_ns: self.discovery_t1_ns,
+                kind: SpanKind::Discovery,
+                name: "<discovery>",
+                iter: self.iter,
+            });
+        }
         for node in self.instance.drain_ready() {
             pool.make_ready(node, None);
         }
-        while pool.throttle.should_help(&pool.tracker) {
-            if !pool.help_once() {
-                break;
+        if pool.throttle.should_help(&pool.tracker) {
+            pool.throttle_stalls.fetch_add(1, Ordering::SeqCst);
+            let h0 = Instant::now();
+            while pool.throttle.should_help(&pool.tracker) {
+                if !pool.help_once() {
+                    break;
+                }
             }
+            pool.throttle_stall_ns
+                .fetch_add(h0.elapsed().as_nanos() as u64, Ordering::SeqCst);
         }
         id
     }
@@ -73,6 +97,7 @@ impl<'e> Session<'e> {
     /// Set the iteration number stamped on subsequently created tasks
     /// (what their bodies observe as [`crate::task::TaskCtx::iter`]).
     pub fn set_iter(&mut self, iter: u64) {
+        self.iter = iter;
         self.instance.set_iter(iter);
     }
 
@@ -127,7 +152,7 @@ impl<'e> Session<'e> {
 
     /// Wait for completion, then return the captured template and the
     /// discovery statistics (capturing sessions only).
-    pub(crate) fn finish_capture(mut self) -> (GraphTemplate, DiscoveryStats) {
+    pub fn finish_capture(mut self) -> (GraphTemplate, DiscoveryStats) {
         self.wait_all();
         let stats = self.engine.stats();
         (self.instance.finish_capture(), stats)

@@ -33,6 +33,10 @@
 //! * A **task-level profiler** ([`profile`]) recording creation, schedule
 //!   and completion events, with the work/overhead/idle breakdown of the
 //!   paper (§2.3.1) and Gantt export.
+//! * End-to-end **observability** ([`obs`]): a lock-free lifecycle event
+//!   recorder fed by the kernel's [`rt::RtProbe`] hooks, kernel counters,
+//!   a Chrome/Perfetto trace exporter, and critical-path analysis — the
+//!   same signals from both back-ends.
 //!
 //! Performance *studies* (virtual 24-core nodes, cache hierarchy, MPI) run
 //! on `ptdg-simrt`, which reuses this crate's discovery engine with a timed
@@ -79,6 +83,7 @@ pub mod data;
 pub mod exec;
 pub mod graph;
 pub mod handle;
+pub mod obs;
 pub mod opts;
 pub mod profile;
 pub mod program;

@@ -1,0 +1,237 @@
+//! Chrome trace-event JSON export (Perfetto / `chrome://tracing`).
+//!
+//! One process, one track per worker, a dedicated producer/discovery
+//! track, plus counter tracks for the live and ready task populations
+//! derived from the lifecycle event stream. `"X"` complete events carry
+//! microsecond `ts`/`dur` (the format's convention); the kernel counters
+//! ride along in `otherData` so a trace file is a self-contained record
+//! of the run.
+
+use super::counters::RtCounters;
+use super::event::{EventKind, RtEvent};
+use super::json::{arr, obj, Json};
+use crate::profile::{SpanKind, Trace};
+
+/// Cap on emitted samples per counter track (Perfetto chokes far later,
+/// but traces should stay mailable).
+const MAX_COUNTER_SAMPLES: usize = 4_000;
+
+fn us(ns: u64) -> Json {
+    Json::Num(ns as f64 / 1_000.0)
+}
+
+fn meta_thread(tid: usize, name: &str) -> Json {
+    obj([
+        ("ph", "M".into()),
+        ("pid", 0usize.into()),
+        ("tid", tid.into()),
+        ("name", "thread_name".into()),
+        ("args", obj([("name", name.into())])),
+    ])
+}
+
+fn counter_sample(name: &str, t_ns: u64, value: i64) -> Json {
+    obj([
+        ("ph", "C".into()),
+        ("pid", 0usize.into()),
+        ("name", name.into()),
+        ("ts", us(t_ns)),
+        ("args", obj([("tasks", Json::Num(value as f64))])),
+    ])
+}
+
+/// Running population samples for one `(+1 kind, -1 kind)` pair.
+fn counter_track(events: &[RtEvent], name: &str, up: EventKind, down: EventKind) -> Vec<Json> {
+    let mut samples: Vec<(u64, i64)> = Vec::new();
+    let mut value = 0i64;
+    for e in events {
+        if e.kind == up {
+            value += 1;
+        } else if e.kind == down {
+            value -= 1;
+        } else {
+            continue;
+        }
+        match samples.last_mut() {
+            Some(last) if last.0 == e.t_ns => last.1 = value,
+            _ => samples.push((e.t_ns, value)),
+        }
+    }
+    if samples.is_empty() {
+        samples.push((0, 0)); // the track must exist even without events
+    }
+    let stride = samples.len().div_ceil(MAX_COUNTER_SAMPLES);
+    let last = samples.len() - 1;
+    samples
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0 || *i == last)
+        .map(|(_, (t, v))| counter_sample(name, *t, *v))
+        .collect()
+}
+
+/// Render a trace + event stream + counters as a Chrome trace-event JSON
+/// document. `trace.n_workers` sizes the worker tracks; discovery spans
+/// are remapped onto the dedicated producer/discovery track regardless of
+/// the lane that recorded them (the simulator's producer is core 0, the
+/// thread executor's is lane `n_workers` — the exported view is uniform).
+pub fn chrome_trace(trace: &Trace, events: &[RtEvent], counters: &RtCounters) -> Json {
+    let disc_tid = trace.n_workers;
+    let mut ev: Vec<Json> = Vec::with_capacity(trace.spans.len() + events.len() / 8 + 8);
+    ev.push(obj([
+        ("ph", "M".into()),
+        ("pid", 0usize.into()),
+        ("name", "process_name".into()),
+        ("args", obj([("name", "ptdg".into())])),
+    ]));
+    for w in 0..trace.n_workers {
+        ev.push(meta_thread(w, &format!("worker {w}")));
+    }
+    ev.push(meta_thread(disc_tid, "producer/discovery"));
+
+    for s in &trace.spans {
+        let (tid, name, cat) = match s.kind {
+            SpanKind::Discovery => (
+                disc_tid,
+                if s.name.is_empty() {
+                    "<discovery>"
+                } else {
+                    s.name
+                },
+                "discovery",
+            ),
+            SpanKind::Work => (
+                s.worker as usize,
+                if s.name.is_empty() { "(work)" } else { s.name },
+                "work",
+            ),
+            SpanKind::Overhead => (s.worker as usize, "(sched)", "overhead"),
+            SpanKind::Idle => (s.worker as usize, "(idle)", "idle"),
+        };
+        ev.push(obj([
+            ("ph", "X".into()),
+            ("pid", 0usize.into()),
+            ("tid", tid.into()),
+            ("ts", us(s.start_ns)),
+            ("dur", us(s.dur_ns())),
+            ("name", name.into()),
+            ("cat", cat.into()),
+            ("args", obj([("iter", s.iter.into())])),
+        ]));
+    }
+
+    ev.extend(counter_track(
+        events,
+        "live_tasks",
+        EventKind::Created,
+        EventKind::Completed,
+    ));
+    ev.extend(counter_track(
+        events,
+        "ready_tasks",
+        EventKind::Ready,
+        EventKind::Scheduled,
+    ));
+
+    let other: Vec<(String, Json)> = counters
+        .pairs()
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.into()))
+        .collect();
+    obj([
+        ("displayTimeUnit", "ms".into()),
+        ("traceEvents", arr(ev)),
+        ("otherData", Json::Obj(other)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Span;
+    use crate::task::TaskId;
+
+    fn span(worker: u32, s: u64, e: u64, kind: SpanKind) -> Span {
+        Span {
+            worker,
+            start_ns: s,
+            end_ns: e,
+            kind,
+            name: "t",
+            iter: 0,
+        }
+    }
+
+    #[test]
+    fn export_has_worker_discovery_and_counter_tracks() {
+        let trace = Trace {
+            spans: vec![
+                span(0, 0, 100, SpanKind::Work),
+                span(1, 0, 50, SpanKind::Idle),
+                span(0, 100, 160, SpanKind::Discovery),
+            ],
+            n_workers: 2,
+            discovery_ns: 60,
+            span_ns: 100,
+        };
+        let events = vec![
+            RtEvent {
+                t_ns: 0,
+                id: TaskId(0),
+                core: u32::MAX,
+                kind: EventKind::Created,
+            },
+            RtEvent {
+                t_ns: 10,
+                id: TaskId(0),
+                core: u32::MAX,
+                kind: EventKind::Ready,
+            },
+            RtEvent {
+                t_ns: 20,
+                id: TaskId(0),
+                core: 0,
+                kind: EventKind::Scheduled,
+            },
+            RtEvent {
+                t_ns: 100,
+                id: TaskId(0),
+                core: 0,
+                kind: EventKind::Completed,
+            },
+        ];
+        let doc = chrome_trace(&trace, &events, &RtCounters::default()).render();
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("worker 0"));
+        assert!(doc.contains("worker 1"));
+        assert!(doc.contains("producer/discovery"));
+        assert!(doc.contains("live_tasks"));
+        assert!(doc.contains("ready_tasks"));
+        assert!(doc.contains("\"otherData\""));
+        // discovery span rides the dedicated track (tid == n_workers)
+        assert!(doc.contains("\"cat\":\"discovery\""));
+    }
+
+    #[test]
+    fn counter_tracks_exist_even_without_events() {
+        let doc = chrome_trace(&Trace::default(), &[], &RtCounters::default()).render();
+        assert!(doc.contains("live_tasks"));
+        assert!(doc.contains("ready_tasks"));
+    }
+
+    #[test]
+    fn counter_samples_are_decimated() {
+        let events: Vec<RtEvent> = (0..100_000u32)
+            .map(|i| RtEvent {
+                t_ns: i as u64,
+                id: TaskId(i),
+                core: u32::MAX,
+                kind: EventKind::Created,
+            })
+            .collect();
+        let doc = chrome_trace(&Trace::default(), &events, &RtCounters::default());
+        let rendered = doc.render();
+        let n_samples = rendered.matches("live_tasks").count();
+        assert!(n_samples <= MAX_COUNTER_SAMPLES + 1, "{n_samples} samples");
+    }
+}

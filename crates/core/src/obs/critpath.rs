@@ -1,0 +1,258 @@
+//! Post-mortem critical-path analysis of an executed DAG.
+//!
+//! The quantitative form of the paper's depth-first-scheduling and
+//! granularity discussions: from the captured [`GraphTemplate`] and the
+//! lifecycle event stream, compute the longest weighted dependence chain
+//! (node weight = measured schedule→completion time), and compare it to
+//! the achieved makespan and the ideal `T1/p`. Template node ids are
+//! topologically ordered — sequential discovery only ever attaches edges
+//! from an existing node to a newer one — so one ascending pass suffices.
+
+use super::event::{EventKind, RtEvent};
+use crate::graph::GraphTemplate;
+
+/// Result of a critical-path computation.
+#[derive(Clone, Debug, Default)]
+pub struct CritPath {
+    /// Length of the heaviest dependence chain, ns.
+    pub cp_ns: u64,
+    /// Tasks on that chain.
+    pub cp_tasks: usize,
+    /// Total work `T1` (sum of per-task times), ns.
+    pub t1_ns: u64,
+    /// Achieved makespan, ns.
+    pub makespan_ns: u64,
+    /// Cores the run had available.
+    pub n_cores: usize,
+    /// Cumulated time per task name along the critical path, heaviest
+    /// first: `(name, total_ns, count)`.
+    pub top_tasks: Vec<(&'static str, u64, usize)>,
+}
+
+impl CritPath {
+    /// The ideal lower bound `T1 / p`, ns.
+    pub fn ideal_ns(&self) -> u64 {
+        self.t1_ns / self.n_cores.max(1) as u64
+    }
+
+    /// Human-readable report (top-`k` critical-path task names).
+    pub fn render(&self, k: usize) -> String {
+        let ms = |ns: u64| ns as f64 * 1e-6;
+        let mut out = format!(
+            "critical path: {:.3} ms over {} tasks | makespan {:.3} ms | \
+             T1 {:.3} ms | T1/p {:.3} ms (p = {})\n",
+            ms(self.cp_ns),
+            self.cp_tasks,
+            ms(self.makespan_ns),
+            ms(self.t1_ns),
+            ms(self.ideal_ns()),
+            self.n_cores,
+        );
+        for (i, (name, ns, count)) in self.top_tasks.iter().take(k).enumerate() {
+            out.push_str(&format!(
+                "  {:>2}. {:<28} {:>10.3} ms  ({count} on path)\n",
+                i + 1,
+                name,
+                ms(*ns),
+            ));
+        }
+        out
+    }
+}
+
+/// Mean schedule→completion duration per template node, derived from the
+/// event stream (persistent runs see each id once per iteration; the mean
+/// is the per-iteration weight). Redirect nodes and tasks that never
+/// scheduled weigh zero.
+fn durations(n_nodes: usize, events: &[RtEvent]) -> Vec<u64> {
+    let mut open: Vec<Option<u64>> = vec![None; n_nodes];
+    let mut sum: Vec<u64> = vec![0; n_nodes];
+    let mut count: Vec<u64> = vec![0; n_nodes];
+    for e in events {
+        let i = e.id.index();
+        if i >= n_nodes {
+            continue;
+        }
+        match e.kind {
+            EventKind::Scheduled => open[i] = Some(e.t_ns),
+            EventKind::Completed => {
+                if let Some(t0) = open[i].take() {
+                    sum[i] += e.t_ns.saturating_sub(t0);
+                    count[i] += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    (0..n_nodes)
+        .map(|i| sum[i].checked_div(count[i]).unwrap_or(0))
+        .collect()
+}
+
+/// Longest weighted path over the executed DAG.
+///
+/// `makespan_ns` is the run's wall (or virtual) execution span and
+/// `n_cores` its parallelism, both reported back for the `cp ≤ makespan`
+/// and `T1/p ≤ makespan` comparisons.
+pub fn critical_path(
+    graph: &GraphTemplate,
+    events: &[RtEvent],
+    makespan_ns: u64,
+    n_cores: usize,
+) -> CritPath {
+    let n = graph.n_nodes();
+    let dur = durations(n, events);
+    let mut dist: Vec<u64> = vec![0; n]; // longest-path length *into* node
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    for id in graph.ids() {
+        let i = id.index();
+        let reach = dist[i] + dur[i];
+        for s in graph.successors(id) {
+            debug_assert!(
+                s.index() > i,
+                "template edges follow discovery order ({} -> {})",
+                i,
+                s.index()
+            );
+            if reach > dist[s.index()] {
+                dist[s.index()] = reach;
+                parent[s.index()] = Some(i);
+            }
+        }
+    }
+    let end = (0..n).max_by_key(|&i| dist[i] + dur[i]);
+    let mut cp = CritPath {
+        makespan_ns,
+        n_cores,
+        t1_ns: dur.iter().sum(),
+        ..Default::default()
+    };
+    let Some(end) = end else { return cp };
+    cp.cp_ns = dist[end] + dur[end];
+    // Walk the chain, aggregating time per task name.
+    let mut by_name: std::collections::HashMap<&'static str, (u64, usize)> =
+        std::collections::HashMap::new();
+    let mut cursor = Some(end);
+    while let Some(i) = cursor {
+        if !graph.node(crate::task::TaskId(i as u32)).is_redirect {
+            cp.cp_tasks += 1;
+            let e = by_name
+                .entry(graph.node(crate::task::TaskId(i as u32)).name)
+                .or_default();
+            e.0 += dur[i];
+            e.1 += 1;
+        }
+        cursor = parent[i];
+    }
+    cp.top_tasks = by_name.into_iter().map(|(k, (ns, c))| (k, ns, c)).collect();
+    cp.top_tasks
+        .sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    cp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DiscoveryEngine, TemplateRecorder};
+    use crate::opts::OptConfig;
+    use crate::task::{TaskId, TaskSpec};
+    use crate::{AccessMode, HandleSpace};
+
+    /// w(0) -> {a(1), b(2)} -> r(3)
+    fn diamond() -> GraphTemplate {
+        let mut space = HandleSpace::new();
+        let x = space.region("x", 4096);
+        let y = space.region("y", 4096);
+        let z = space.region("z", 4096);
+        let mut engine = DiscoveryEngine::new(OptConfig::none());
+        let mut rec = TemplateRecorder::new(false);
+        for spec in [
+            TaskSpec::new("w").depend(x, AccessMode::Out),
+            TaskSpec::new("a")
+                .depend(x, AccessMode::In)
+                .depend(y, AccessMode::Out),
+            TaskSpec::new("b")
+                .depend(x, AccessMode::In)
+                .depend(z, AccessMode::Out),
+            TaskSpec::new("r")
+                .depend(y, AccessMode::In)
+                .depend(z, AccessMode::In),
+        ] {
+            engine.submit(&mut rec, &spec);
+        }
+        rec.finish()
+    }
+
+    fn sched(id: u32, t: u64) -> RtEvent {
+        RtEvent {
+            t_ns: t,
+            id: TaskId(id),
+            core: 0,
+            kind: EventKind::Scheduled,
+        }
+    }
+    fn comp(id: u32, t: u64) -> RtEvent {
+        RtEvent {
+            t_ns: t,
+            id: TaskId(id),
+            core: 0,
+            kind: EventKind::Completed,
+        }
+    }
+
+    #[test]
+    fn picks_the_heavier_branch() {
+        let g = diamond();
+        // w: 10, a: 5, b: 50, r: 10 — critical path w->b->r = 70
+        let events = vec![
+            sched(0, 0),
+            comp(0, 10),
+            sched(1, 10),
+            comp(1, 15),
+            sched(2, 10),
+            comp(2, 60),
+            sched(3, 60),
+            comp(3, 70),
+        ];
+        let cp = critical_path(&g, &events, 70, 2);
+        assert_eq!(cp.cp_ns, 70);
+        assert_eq!(cp.cp_tasks, 3);
+        assert_eq!(cp.t1_ns, 75);
+        assert_eq!(cp.ideal_ns(), 37);
+        assert_eq!(cp.top_tasks[0].0, "b", "heaviest name first");
+        assert!(cp.cp_ns <= cp.makespan_ns);
+        let report = cp.render(3);
+        assert!(report.contains("critical path"));
+        assert!(report.contains("b"));
+    }
+
+    #[test]
+    fn empty_graph_and_events_are_safe() {
+        let rec = TemplateRecorder::new(false);
+        let g = rec.finish();
+        let cp = critical_path(&g, &[], 0, 4);
+        assert_eq!(cp.cp_ns, 0);
+        assert_eq!(cp.t1_ns, 0);
+    }
+
+    #[test]
+    fn persistent_reuse_averages_durations() {
+        let g = diamond();
+        // Two iterations of the same ids; b takes 40 then 60 -> mean 50.
+        let mut events = Vec::new();
+        for (base, b_dur) in [(0u64, 40u64), (1_000, 60)] {
+            events.extend([
+                sched(0, base),
+                comp(0, base + 10),
+                sched(2, base + 10),
+                comp(2, base + 10 + b_dur),
+                sched(1, base + 10),
+                comp(1, base + 15),
+                sched(3, base + 10 + b_dur),
+                comp(3, base + 20 + b_dur),
+            ]);
+        }
+        let cp = critical_path(&g, &events, 2_000, 2);
+        assert_eq!(cp.cp_ns, 10 + 50 + 10);
+    }
+}

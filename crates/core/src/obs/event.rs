@@ -1,0 +1,100 @@
+//! The kernel lifecycle event stream.
+//!
+//! Every task passes through the same state machine regardless of
+//! back-end; these events are the kernel's narration of that machine:
+//! `Created → Ready → Scheduled → [CommPosted →] Completed` for ordinary
+//! tasks, `Created → Ready → Completed` for redirect nodes (they carry no
+//! body and complete inline the moment their dependences are satisfied).
+//! The emit sites live exclusively in `crate::rt` — back-ends only supply
+//! the clock — so the thread executor and the DES simulator produce the
+//! identical per-task sequence.
+
+use crate::task::TaskId;
+
+/// What happened to a task.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// Discovery (or persistent re-instancing) materialized the node.
+    Created,
+    /// The last unsatisfied dependence was released.
+    Ready,
+    /// A core dequeued the task.
+    Scheduled,
+    /// The task's communication side effect was posted (detached task).
+    CommPosted,
+    /// The task finished (for comm tasks: the request completed).
+    Completed,
+}
+
+impl EventKind {
+    /// Short stable label (exporters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Created => "created",
+            EventKind::Ready => "ready",
+            EventKind::Scheduled => "scheduled",
+            EventKind::CommPosted => "comm_posted",
+            EventKind::Completed => "completed",
+        }
+    }
+}
+
+/// One lifecycle event. 24 bytes; the recorder's ring slots are sized so
+/// a multi-million-task run records without allocating.
+#[derive(Clone, Copy, Debug)]
+pub struct RtEvent {
+    /// Timestamp, nanoseconds (wall offset or virtual time — the back-end
+    /// supplies the clock, the recorder optionally rebases).
+    pub t_ns: u64,
+    /// The task.
+    pub id: TaskId,
+    /// Core involved (scheduling/completion); `u32::MAX` when no core is
+    /// meaningful (creation, readiness detected by the producer).
+    pub core: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Group an event stream into per-task kind sequences (test and analysis
+/// helper: the cross-backend contract is on these sequences).
+pub fn sequences_by_task(events: &[RtEvent]) -> std::collections::HashMap<u32, Vec<EventKind>> {
+    let mut map: std::collections::HashMap<u32, Vec<EventKind>> = std::collections::HashMap::new();
+    for e in events {
+        map.entry(e.id.0).or_default().push(e.kind);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequences_group_by_id_in_stream_order() {
+        let ev = |id: u32, kind| RtEvent {
+            t_ns: 0,
+            id: TaskId(id),
+            core: u32::MAX,
+            kind,
+        };
+        let events = [
+            ev(0, EventKind::Created),
+            ev(1, EventKind::Created),
+            ev(0, EventKind::Ready),
+            ev(0, EventKind::Scheduled),
+            ev(0, EventKind::Completed),
+            ev(1, EventKind::Ready),
+        ];
+        let seq = sequences_by_task(&events);
+        assert_eq!(
+            seq[&0],
+            vec![
+                EventKind::Created,
+                EventKind::Ready,
+                EventKind::Scheduled,
+                EventKind::Completed
+            ]
+        );
+        assert_eq!(seq[&1], vec![EventKind::Created, EventKind::Ready]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # Runtime observability
+//!
+//! Everything the kernel can tell you about a run, in four layers (see
+//! `DESIGN.md` §4.2):
+//!
+//! 1. **Lifecycle event stream** ([`RtEvent`], [`EventKind`]) — every
+//!    task's `Created → Ready → Scheduled → [CommPosted →] Completed`
+//!    narration, emitted from the shared kernel (`crate::rt`) so both
+//!    back-ends produce the identical per-task sequence; recorded by the
+//!    lock-free [`EventRecorder`];
+//! 2. **Kernel counters** ([`RtCounters`]) — discovery stats, queue-depth
+//!    high-water marks, throttle/hold stalls, persistent reuse, comms;
+//! 3. **Exporters** — [`chrome_trace`] renders a Perfetto-loadable Chrome
+//!    trace-event JSON document with the hand-rolled [`Json`] writer;
+//! 4. **Critical-path analysis** ([`critical_path`], [`CritPath`]) —
+//!    post-mortem longest path over the executed DAG vs. makespan vs.
+//!    ideal `T1/p`.
+//!
+//! Everything is zero-cost when disabled: the kernel's emit sites check
+//! [`crate::rt::RtProbe::lifecycle_enabled`] (a `NullProbe` reports
+//! `false` and back-ends then skip even the clock read).
+
+mod chrome;
+mod counters;
+mod critpath;
+mod event;
+pub mod json;
+mod recorder;
+
+pub use chrome::chrome_trace;
+pub use counters::RtCounters;
+pub use critpath::{critical_path, CritPath};
+pub use event::{sequences_by_task, EventKind, RtEvent};
+pub use json::{arr, obj, Json};
+pub use recorder::{EventRecorder, ObsReport, EVENT_RING_CAPACITY, SPAN_RING_CAPACITY};

@@ -164,4 +164,99 @@ mod tests {
         let b = t.breakdown();
         assert_eq!(b.avg_work_s(), 0.0);
     }
+
+    #[test]
+    fn fully_busy_worker_has_zero_idle() {
+        let mut t = Trace {
+            n_workers: 1,
+            span_ns: 100,
+            ..Default::default()
+        };
+        t.push(Span {
+            worker: 0,
+            start_ns: 0,
+            end_ns: 100,
+            kind: SpanKind::Work,
+            name: "",
+            iter: 0,
+        });
+        let b = t.breakdown();
+        assert_eq!(b.work_ns, 100);
+        assert_eq!(b.overhead_ns, 0);
+        assert_eq!(b.idle_ns, 0);
+    }
+
+    #[test]
+    fn spans_exceeding_capacity_clamp_idle_to_zero() {
+        // Timer skew can make recorded spans sum past span × workers;
+        // the inferred idle must clamp at zero rather than wrap.
+        let mut t = Trace {
+            n_workers: 1,
+            span_ns: 100,
+            ..Default::default()
+        };
+        t.push(Span {
+            worker: 0,
+            start_ns: 0,
+            end_ns: 120,
+            kind: SpanKind::Work,
+            name: "",
+            iter: 0,
+        });
+        let b = t.breakdown();
+        assert_eq!(b.work_ns, 120);
+        assert_eq!(b.idle_ns, 0);
+    }
+
+    #[test]
+    fn explicit_idle_never_shrinks_below_recorded() {
+        // A simulator trace with explicit idle plus an unaccounted gap:
+        // the gap folds into idle on top of the recorded spans.
+        let mut t = Trace {
+            n_workers: 1,
+            span_ns: 100,
+            ..Default::default()
+        };
+        for (s, e, k) in [
+            (0, 50, SpanKind::Work),
+            (50, 60, SpanKind::Overhead),
+            (60, 80, SpanKind::Idle),
+            // 80..100 unaccounted
+        ] {
+            t.push(Span {
+                worker: 0,
+                start_ns: s,
+                end_ns: e,
+                kind: k,
+                name: "",
+                iter: 0,
+            });
+        }
+        let b = t.breakdown();
+        assert_eq!(b.work_ns, 50);
+        assert_eq!(b.overhead_ns, 10);
+        assert_eq!(b.idle_ns, 40, "explicit 20 + inferred 20");
+    }
+
+    #[test]
+    fn breakdown_conserves_capacity() {
+        let mut t = Trace {
+            n_workers: 3,
+            span_ns: 1_000,
+            ..Default::default()
+        };
+        for w in 0..3u32 {
+            t.push(Span {
+                worker: w,
+                start_ns: 0,
+                end_ns: 400 + 100 * w as u64,
+                kind: SpanKind::Work,
+                name: "",
+                iter: 0,
+            });
+        }
+        let b = t.breakdown();
+        let capacity = t.span_ns * t.n_workers as u64;
+        assert_eq!(b.work_ns + b.overhead_ns + b.idle_ns, capacity);
+    }
 }

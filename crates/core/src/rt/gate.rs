@@ -1,7 +1,7 @@
 //! Hold gate for the paper's *non-overlapped* configuration (Table 1):
 //! ready tasks are withheld until the whole graph is discovered.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// While closed, items offered to the gate are held; [`HoldGate::release`]
@@ -10,6 +10,7 @@ use std::sync::Mutex;
 pub struct HoldGate<T> {
     closed: AtomicBool,
     held: Mutex<Vec<T>>,
+    held_total: AtomicU64,
 }
 
 impl<T> HoldGate<T> {
@@ -18,6 +19,7 @@ impl<T> HoldGate<T> {
         HoldGate {
             closed: AtomicBool::new(closed),
             held: Mutex::new(Vec::new()),
+            held_total: AtomicU64::new(0),
         }
     }
 
@@ -46,6 +48,7 @@ impl<T> HoldGate<T> {
         let mut held = self.held();
         if self.is_closed() {
             held.push(item);
+            self.held_total.fetch_add(1, Ordering::SeqCst);
             None
         } else {
             Some(item)
@@ -57,6 +60,11 @@ impl<T> HoldGate<T> {
         let mut held = self.held();
         self.closed.store(false, Ordering::SeqCst);
         std::mem::take(&mut held)
+    }
+
+    /// Total items ever held back (observability counter).
+    pub fn held_total(&self) -> u64 {
+        self.held_total.load(Ordering::SeqCst)
     }
 }
 

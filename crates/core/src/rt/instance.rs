@@ -8,6 +8,7 @@
 //! edges themselves; they only *route* the ready tasks this instance
 //! hands them.
 
+use super::probe::{NullProbe, RtProbe};
 use super::{ReadyTracker, RtNode};
 use crate::graph::{GraphSink, GraphTemplate, TemplateRecorder};
 use crate::task::{TaskId, TaskSpec};
@@ -47,6 +48,11 @@ pub struct GraphInstance {
     capture: Option<TemplateRecorder>,
     opts: InstanceOptions,
     iter: u64,
+    probe: Arc<dyn RtProbe>,
+    /// Timestamp stamped on lifecycle events emitted during discovery;
+    /// the back-end advances it before each submission batch (discovery
+    /// itself has no clock).
+    now_ns: u64,
 }
 
 impl GraphInstance {
@@ -61,12 +67,25 @@ impl GraphInstance {
                 .then(|| TemplateRecorder::new(opts.want_bodies)),
             opts,
             iter: 0,
+            probe: Arc::new(NullProbe),
+            now_ns: 0,
         }
     }
 
     /// Iteration stamped onto subsequently created nodes.
     pub fn set_iter(&mut self, iter: u64) {
         self.iter = iter;
+    }
+
+    /// Attach the lifecycle probe (creation and root-readiness events are
+    /// emitted from here — the discovery-side emit site).
+    pub fn set_probe(&mut self, probe: Arc<dyn RtProbe>) {
+        self.probe = probe;
+    }
+
+    /// Advance the clock lifecycle events are stamped with.
+    pub fn set_now_ns(&mut self, now_ns: u64) {
+        self.now_ns = now_ns;
     }
 
     /// The node for `id`.
@@ -115,6 +134,9 @@ impl GraphSink for GraphInstance {
             let mirror = cap.add_task(spec);
             debug_assert_eq!(mirror, id, "capture mirrors node ids");
         }
+        if self.probe.lifecycle_enabled() {
+            self.probe.task_created(id, self.now_ns);
+        }
         id
     }
 
@@ -125,6 +147,9 @@ impl GraphSink for GraphInstance {
         if let Some(cap) = &mut self.capture {
             let mirror = cap.add_redirect();
             debug_assert_eq!(mirror, id, "capture mirrors node ids");
+        }
+        if self.probe.lifecycle_enabled() {
+            self.probe.task_created(id, self.now_ns);
         }
         id
     }
@@ -143,6 +168,9 @@ impl GraphSink for GraphInstance {
     fn seal(&mut self, task: TaskId) {
         let node = &self.nodes[task.index()];
         if node.seal() {
+            if self.probe.lifecycle_enabled() {
+                self.probe.task_ready(node.id, self.now_ns);
+            }
             self.newly_ready.push(Arc::clone(node));
         }
     }

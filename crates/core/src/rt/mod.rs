@@ -34,6 +34,6 @@ pub use instance::{GraphInstance, InstanceOptions};
 pub use node::{Completion, RtNode};
 pub use persistent::{PersistentInstance, REINSTANCE_BATCH};
 pub use probe::{NullProbe, RtProbe, SpanCollector};
-pub use queue::{ReadyQueues, SchedPolicy};
+pub use queue::{ReadyQueues, SchedPolicy, TaskKey};
 pub use ready::ReadyTracker;
 pub use throttle::{ThrottleConfig, ThrottleGate};

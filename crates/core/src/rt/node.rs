@@ -7,6 +7,7 @@
 //! readiness — lives *only* here; back-ends never touch in-degree
 //! counters themselves.
 
+use super::probe::RtProbe;
 use crate::task::{TaskBody, TaskId, TaskSpec};
 use crate::workdesc::{CommOp, WorkDesc};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
@@ -192,6 +193,15 @@ impl RtNode {
     /// (consumed) then persistent ones (reusable). Returns the successors
     /// that became ready, plus the number of releases performed.
     pub fn complete(&self) -> Completion {
+        self.complete_with(&crate::rt::NullProbe, 0, 0)
+    }
+
+    /// [`RtNode::complete`] narrated through a probe: emits `comm_posted`
+    /// (when the task carries a communication side effect),
+    /// `task_completed` on `core`, and one `task_ready` per successor this
+    /// completion released — the kernel-side emit site both back-ends
+    /// share, so their lifecycle streams cannot diverge.
+    pub fn complete_with(&self, probe: &dyn RtProbe, core: usize, now_ns: u64) -> Completion {
         let taken = {
             let mut links = self.links();
             links.completed = true;
@@ -212,6 +222,15 @@ impl RtNode {
                 if succ.seal() {
                     out.ready.push(Arc::clone(succ));
                 }
+            }
+        }
+        if probe.lifecycle_enabled() {
+            if self.comm.is_some() {
+                probe.comm_posted(self.id, now_ns);
+            }
+            probe.task_completed(self.id, core, now_ns);
+            for succ in &out.ready {
+                probe.task_ready(succ.id, now_ns);
             }
         }
         out

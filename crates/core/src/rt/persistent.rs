@@ -9,10 +9,12 @@
 //! simulator publishes [`REINSTANCE_BATCH`]-sized chunks so re-instance
 //! cost is paid incrementally in virtual time.
 
+use super::probe::{NullProbe, RtProbe};
 use super::{ReadyTracker, RtNode};
 use crate::graph::GraphTemplate;
 use crate::task::TaskId;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Batch size back-ends use when paying re-instance cost incrementally.
@@ -22,6 +24,7 @@ pub const REINSTANCE_BATCH: usize = 16;
 pub struct PersistentInstance {
     template: Arc<GraphTemplate>,
     nodes: Vec<Arc<RtNode>>,
+    reuses: AtomicU64,
 }
 
 impl PersistentInstance {
@@ -39,7 +42,11 @@ impl PersistentInstance {
                 .collect();
             nodes[id.index()].set_persistent_succs(succs);
         }
-        PersistentInstance { template, nodes }
+        PersistentInstance {
+            template,
+            nodes,
+            reuses: AtomicU64::new(0),
+        }
     }
 
     /// The captured template.
@@ -70,23 +77,61 @@ impl PersistentInstance {
     /// firstprivate rewrite) and account the whole graph as live. No node
     /// is visible to scheduling until its token is dropped by `publish`.
     pub fn begin_iteration(&self, iter: u64, tracker: &ReadyTracker) {
+        self.begin_iteration_with(iter, tracker, &NullProbe, 0);
+    }
+
+    /// [`PersistentInstance::begin_iteration`] narrated through a probe:
+    /// the re-instanced nodes count as *created* again — same lifecycle
+    /// narration as streaming discovery, so both probe streams align.
+    pub fn begin_iteration_with(
+        &self,
+        iter: u64,
+        tracker: &ReadyTracker,
+        probe: &dyn RtProbe,
+        now_ns: u64,
+    ) {
         for node in &self.nodes {
             node.reset_for_iteration(self.template.indegree(node.id), iter);
         }
         tracker.created(self.nodes.len());
+        self.reuses.fetch_add(1, Ordering::SeqCst);
+        if probe.lifecycle_enabled() {
+            for node in &self.nodes {
+                probe.task_created(node.id, now_ns);
+            }
+        }
     }
 
     /// Drop the visibility tokens of `range`, returning the nodes that
     /// became ready (roots of the template, once all their — zero —
     /// predecessors plus the token are gone).
     pub fn publish(&self, range: Range<usize>) -> Vec<Arc<RtNode>> {
+        self.publish_with(range, &NullProbe, 0)
+    }
+
+    /// [`PersistentInstance::publish`] narrated through a probe: emits
+    /// `task_ready` for each node whose token drop made it ready.
+    pub fn publish_with(
+        &self,
+        range: Range<usize>,
+        probe: &dyn RtProbe,
+        now_ns: u64,
+    ) -> Vec<Arc<RtNode>> {
         let mut ready = Vec::new();
         for node in &self.nodes[range] {
             if node.seal() {
+                if probe.lifecycle_enabled() {
+                    probe.task_ready(node.id, now_ns);
+                }
                 ready.push(Arc::clone(node));
             }
         }
         ready
+    }
+
+    /// Number of iterations re-instanced through this template.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Ordering::SeqCst)
     }
 }
 

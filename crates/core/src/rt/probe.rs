@@ -2,28 +2,41 @@
 //!
 //! Both back-ends report the same task-lifecycle events through one
 //! [`RtProbe`]; the wall-clock executor timestamps them itself, the
-//! simulator stamps them with virtual time. Either way the result is a
-//! [`crate::profile::Trace`] fed to one analysis pipeline.
+//! simulator stamps them with virtual time. The emit sites live in this
+//! module's siblings — [`super::GraphInstance`] (creation, root
+//! readiness), [`super::RtNode::complete_with`] (completion, successor
+//! readiness, comm posting), [`super::ReadyQueues::pop_with`]
+//! (scheduling) and [`super::PersistentInstance`] (re-instanced creation
+//! and publication) — so a back-end cannot diverge from the shared
+//! narration. The result feeds one analysis pipeline
+//! ([`crate::profile::Trace`], [`crate::obs`]).
 
-use crate::profile::{Span, Trace};
+use crate::profile::{Span, SpanKind, Trace};
 use crate::task::TaskId;
 use std::sync::Mutex;
 
 /// Observer of kernel-level task events. All hooks default to no-ops so a
-/// backend only implements what it measures.
+/// backend only implements what it measures. Timestamps are nanoseconds
+/// on the back-end's clock (wall offset or virtual time).
 pub trait RtProbe: Send + Sync {
     /// A task was created by discovery or re-instancing.
-    fn task_created(&self, _id: TaskId) {}
+    fn task_created(&self, _id: TaskId, _t_ns: u64) {}
     /// A task's last dependence was satisfied.
-    fn task_ready(&self, _id: TaskId) {}
+    fn task_ready(&self, _id: TaskId, _t_ns: u64) {}
     /// A task was handed to a core.
-    fn task_scheduled(&self, _id: TaskId, _core: usize) {}
+    fn task_scheduled(&self, _id: TaskId, _core: usize, _t_ns: u64) {}
     /// A task finished.
-    fn task_completed(&self, _id: TaskId, _core: usize) {}
+    fn task_completed(&self, _id: TaskId, _core: usize, _t_ns: u64) {}
     /// A communication operation was posted (detached task).
-    fn comm_posted(&self, _id: TaskId) {}
+    fn comm_posted(&self, _id: TaskId, _t_ns: u64) {}
     /// A timed span was measured on a lane.
     fn span(&self, _span: Span) {}
+    /// Whether the lifecycle hooks observe anything. Emit sites check
+    /// this before reading their clock, so a disabled probe costs
+    /// nothing but one predictable branch.
+    fn lifecycle_enabled(&self) -> bool {
+        false
+    }
 }
 
 /// The probe that measures nothing.
@@ -34,12 +47,17 @@ impl RtProbe for NullProbe {}
 
 /// A probe that collects [`Span`]s into per-lane buffers (lane =
 /// worker/core index, plus one extra lane for the producer).
+///
+/// This is the simple mutex-per-lane collector; the executors' hot path
+/// uses the lock-free [`crate::obs::EventRecorder`] instead. Kept for
+/// tests and lightweight ad-hoc collection.
 pub struct SpanCollector {
     bufs: Vec<Mutex<Vec<Span>>>,
 }
 
 impl SpanCollector {
-    /// A collector with `lanes` buffers.
+    /// A collector with `lanes` buffers — size it from the kernel's
+    /// worker count (workers plus one producer lane).
     pub fn new(lanes: usize) -> Self {
         SpanCollector {
             bufs: (0..lanes).map(|_| Mutex::new(Vec::new())).collect(),
@@ -58,27 +76,45 @@ impl SpanCollector {
 
     /// Build a [`Trace`], rebasing all timestamps so the earliest span
     /// starts at zero (wall-clock back-end: spans carry `Instant`-derived
-    /// offsets from an arbitrary origin).
+    /// offsets from an arbitrary origin). `span_ns` measures the extent
+    /// of *execution* spans; a discovery-only trace falls back to the
+    /// full extent so it stays zero-based and well-formed.
     pub fn take_trace(&self, n_workers: usize, discovery_ns: u64) -> Trace {
         let mut spans = self.take_spans();
         let t_min = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
-        let t_max = spans.iter().map(|s| s.end_ns).max().unwrap_or(0);
         for s in &mut spans {
             s.start_ns -= t_min;
             s.end_ns -= t_min;
         }
+        let extent = |pred: &dyn Fn(&Span) -> bool| {
+            let lo = spans.iter().filter(|s| pred(s)).map(|s| s.start_ns).min();
+            let hi = spans.iter().filter(|s| pred(s)).map(|s| s.end_ns).max();
+            match (lo, hi) {
+                (Some(lo), Some(hi)) => Some(hi - lo),
+                _ => None,
+            }
+        };
+        let span_ns = extent(&|s: &Span| s.kind != SpanKind::Discovery)
+            .or_else(|| extent(&|_| true))
+            .unwrap_or(0);
         Trace {
             spans,
             n_workers,
             discovery_ns,
-            span_ns: t_max - t_min,
+            span_ns,
         }
     }
 }
 
 impl RtProbe for SpanCollector {
     fn span(&self, span: Span) {
-        let lane = (span.worker as usize).min(self.bufs.len().saturating_sub(1));
+        let lane = span.worker as usize;
+        debug_assert!(
+            lane < self.bufs.len(),
+            "span from out-of-range lane {lane} (collector has {})",
+            self.bufs.len()
+        );
+        let lane = lane.min(self.bufs.len().saturating_sub(1));
         self.bufs[lane]
             .lock()
             .unwrap_or_else(|e| e.into_inner())
@@ -114,5 +150,56 @@ mod tests {
         assert_eq!(t.span_ns, 1_000);
         assert_eq!(t.discovery_ns, 42);
         assert_eq!(t.spans.iter().map(|s| s.start_ns).min(), Some(0));
+    }
+
+    #[test]
+    fn discovery_only_trace_is_zero_based() {
+        // Regression: wall-clock offsets are huge; a trace holding only
+        // discovery spans must still be rebased to zero.
+        let c = SpanCollector::new(1);
+        c.span(Span {
+            worker: 0,
+            start_ns: 7_000_000_000,
+            end_ns: 7_000_000_500,
+            kind: SpanKind::Discovery,
+            name: "<discovery>",
+            iter: 0,
+        });
+        c.span(Span {
+            worker: 0,
+            start_ns: 7_000_000_500,
+            end_ns: 7_000_001_000,
+            kind: SpanKind::Discovery,
+            name: "<discovery>",
+            iter: 0,
+        });
+        let t = c.take_trace(1, 1_000);
+        assert_eq!(t.spans.iter().map(|s| s.start_ns).min(), Some(0));
+        assert_eq!(t.spans.iter().map(|s| s.end_ns).max(), Some(1_000));
+        assert_eq!(t.span_ns, 1_000, "falls back to the discovery extent");
+    }
+
+    #[test]
+    fn execution_extent_excludes_discovery() {
+        let c = SpanCollector::new(2);
+        // discovery from 0..1000, work only 400..600
+        c.span(Span {
+            worker: 1,
+            start_ns: 0,
+            end_ns: 1_000,
+            kind: SpanKind::Discovery,
+            name: "<discovery>",
+            iter: 0,
+        });
+        c.span(Span {
+            worker: 0,
+            start_ns: 400,
+            end_ns: 600,
+            kind: SpanKind::Work,
+            name: "t",
+            iter: 0,
+        });
+        let t = c.take_trace(2, 1_000);
+        assert_eq!(t.span_ns, 200, "span_ns is the execution extent");
     }
 }

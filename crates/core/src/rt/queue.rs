@@ -1,7 +1,29 @@
 //! Ready-task queues implementing the paper's two scheduling heuristics.
 
+use super::probe::RtProbe;
+use crate::task::TaskId;
 use std::collections::VecDeque;
 use std::sync::Mutex;
+
+/// Queue elements that can name the task they carry, so
+/// [`ReadyQueues::pop_with`] can narrate scheduling through a probe.
+/// The thread executor queues `Arc<RtNode>`; the simulator queues raw
+/// node indices.
+pub trait TaskKey {
+    fn task_id(&self) -> TaskId;
+}
+
+impl TaskKey for std::sync::Arc<super::RtNode> {
+    fn task_id(&self) -> TaskId {
+        self.id
+    }
+}
+
+impl TaskKey for u32 {
+    fn task_id(&self) -> TaskId {
+        TaskId(*self)
+    }
+}
 
 /// Scheduling heuristic for ready tasks (paper §2.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -86,6 +108,26 @@ impl<T> ReadyQueues<T> {
             }
         }
         None
+    }
+
+    /// [`ReadyQueues::pop`] narrated through a probe: emits
+    /// `task_scheduled` for the dequeued task. A `None` worker (the
+    /// producer helping out) reports core `n_cores` — the producer lane.
+    pub fn pop_with(
+        &self,
+        worker: Option<usize>,
+        probe: &dyn RtProbe,
+        now_ns: u64,
+    ) -> Option<(T, bool)>
+    where
+        T: TaskKey,
+    {
+        let popped = self.pop(worker)?;
+        if probe.lifecycle_enabled() {
+            let core = worker.unwrap_or(self.local.len());
+            probe.task_scheduled(popped.0.task_id(), core, now_ns);
+        }
+        Some(popped)
     }
 
     /// Total queued tasks (diagnostics).

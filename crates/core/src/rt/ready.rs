@@ -10,6 +10,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 pub struct ReadyTracker {
     live: AtomicUsize,
     ready: AtomicUsize,
+    created_total: AtomicUsize,
+    live_hwm: AtomicUsize,
+    ready_hwm: AtomicUsize,
 }
 
 impl ReadyTracker {
@@ -19,12 +22,15 @@ impl ReadyTracker {
 
     /// `n` tasks were created (discovery or re-instancing).
     pub fn created(&self, n: usize) {
-        self.live.fetch_add(n, Ordering::SeqCst);
+        self.created_total.fetch_add(n, Ordering::SeqCst);
+        let live = self.live.fetch_add(n, Ordering::SeqCst) + n;
+        self.live_hwm.fetch_max(live, Ordering::SeqCst);
     }
 
     /// A task became ready.
     pub fn became_ready(&self) {
-        self.ready.fetch_add(1, Ordering::SeqCst);
+        let ready = self.ready.fetch_add(1, Ordering::SeqCst) + 1;
+        self.ready_hwm.fetch_max(ready, Ordering::SeqCst);
     }
 
     /// A ready task was handed to a core.
@@ -50,6 +56,21 @@ impl ReadyTracker {
     /// No live tasks remain.
     pub fn quiescent(&self) -> bool {
         self.live() == 0
+    }
+
+    /// Tasks ever created through this tracker.
+    pub fn created_total(&self) -> usize {
+        self.created_total.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of concurrently live tasks.
+    pub fn live_hwm(&self) -> usize {
+        self.live_hwm.load(Ordering::SeqCst)
+    }
+
+    /// High-water mark of concurrently ready (queued) tasks.
+    pub fn ready_hwm(&self) -> usize {
+        self.ready_hwm.load(Ordering::SeqCst)
     }
 }
 

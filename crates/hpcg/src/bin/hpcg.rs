@@ -6,10 +6,12 @@
 //! ```
 
 use ptdg_core::exec::{ExecConfig, Executor, SchedPolicy};
+use ptdg_core::obs::{chrome_trace, critical_path};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::throttle::ThrottleConfig;
 use ptdg_hpcg::{HpcgConfig, HpcgTask};
 use ptdg_simrt::RankProgram;
+use std::path::PathBuf;
 
 fn main() {
     let mut nx = 10usize;
@@ -18,6 +20,7 @@ fn main() {
     let mut workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut trace: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
     while k < argv.len() {
@@ -27,8 +30,17 @@ fn main() {
             ("--iters", Some(v)) => iters = v as u64,
             ("--tpl", Some(v)) => tpl = v,
             ("--workers", Some(v)) => workers = v,
+            ("--trace", _) => match argv.get(k + 1) {
+                Some(p) => trace = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("missing path after --trace");
+                    std::process::exit(2);
+                }
+            },
             ("-h", _) | ("--help", _) => {
-                eprintln!("usage: hpcg [--nx N] [--iters I] [--tpl B] [--workers W]");
+                eprintln!(
+                    "usage: hpcg [--nx N] [--iters I] [--tpl B] [--workers W] [--trace out.json]"
+                );
                 return;
             }
             (flag, _) => {
@@ -45,10 +57,15 @@ fn main() {
         n_workers: workers,
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::mpc_default(),
-        profile: false,
+        profile: trace.is_some(),
     });
     let t0 = std::time::Instant::now();
-    let mut session = exec.session(OptConfig::all());
+    // with --trace, capture the streamed graph for the critical-path walk
+    let mut session = if trace.is_some() {
+        exec.session_capturing(OptConfig::all())
+    } else {
+        exec.session(OptConfig::all())
+    };
     for iter in 0..cfg.iterations {
         prog.build_iteration(0, iter, &mut session);
         if iter % 5 == 4 {
@@ -60,7 +77,28 @@ fn main() {
             );
         }
     }
-    session.wait_all();
+    if let Some(path) = &trace {
+        let (g, stats) = session.finish_capture();
+        let mut obs = exec.take_obs();
+        let created = obs.counters.tasks_created;
+        obs.counters.absorb_discovery(&stats);
+        obs.counters.tasks_created = created;
+        let doc = chrome_trace(&obs.trace, &obs.events, &obs.counters);
+        if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "chrome trace written to {} (load at https://ui.perfetto.dev)",
+            path.display()
+        );
+        println!(
+            "{}",
+            critical_path(&g, &obs.events, obs.trace.span_ns, workers).render(5)
+        );
+    } else {
+        session.wait_all();
+    }
     let st = prog.state.as_ref().unwrap();
     println!(
         "CG {}³ grid, {} iterations, {} blocks on {} workers: residual {:.3e} \

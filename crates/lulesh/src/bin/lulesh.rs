@@ -7,11 +7,13 @@
 //! ```
 
 use ptdg_core::exec::{ExecConfig, Executor, SchedPolicy};
+use ptdg_core::obs::{chrome_trace, critical_path};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::throttle::ThrottleConfig;
 use ptdg_lulesh::sequential::run_sequential;
 use ptdg_lulesh::{LuleshConfig, LuleshTask};
 use ptdg_simrt::RankProgram;
+use std::path::PathBuf;
 
 struct Args {
     s: usize,
@@ -20,6 +22,7 @@ struct Args {
     workers: usize,
     parallel_for: bool,
     persistent: bool,
+    trace: Option<PathBuf>,
 }
 
 fn parse() -> Result<Args, String> {
@@ -32,6 +35,7 @@ fn parse() -> Result<Args, String> {
             .unwrap_or(1),
         parallel_for: false,
         persistent: true,
+        trace: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
@@ -50,9 +54,15 @@ fn parse() -> Result<Args, String> {
             "-t" | "--workers" => args.workers = next(&mut k)?,
             "--parallel-for" => args.parallel_for = true,
             "--no-persistent" => args.persistent = false,
+            "--trace" => {
+                k += 1;
+                args.trace = Some(PathBuf::from(
+                    argv.get(k).ok_or("missing path after --trace")?,
+                ));
+            }
             "-h" | "--help" => {
                 return Err("usage: lulesh [-s edge] [-i iters] [-tel tasks-per-loop] \
-                     [-t workers] [--parallel-for] [--no-persistent]"
+                     [-t workers] [--parallel-for] [--no-persistent] [--trace out.json]"
                     .into())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -91,9 +101,9 @@ fn main() {
         n_workers: args.workers,
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::mpc_default(),
-        profile: false,
+        profile: args.trace.is_some(),
     });
-    if args.persistent {
+    let (graph, stats) = if args.persistent {
         let mut region = exec.persistent_region(OptConfig::all());
         for iter in 0..cfg.iterations {
             region.run(iter, |sub| prog.build_iteration(0, iter, sub));
@@ -104,6 +114,17 @@ fn main() {
             t.n_tasks(),
             t.n_edges()
         );
+        (Some((**t).clone()), region.first_iteration_stats())
+    } else if args.trace.is_some() {
+        // capture the full streamed graph so the critical-path report can
+        // walk it
+        let mut session = exec.session_capturing(OptConfig::all());
+        for iter in 0..cfg.iterations {
+            prog.build_iteration(0, iter, &mut session);
+        }
+        let (g, stats) = session.finish_capture();
+        println!("streaming discovery: {stats:?}");
+        (Some(g), stats)
     } else {
         let mut session = exec.session(OptConfig::all());
         for iter in 0..cfg.iterations {
@@ -111,6 +132,30 @@ fn main() {
         }
         session.wait_all();
         println!("streaming discovery: {:?}", session.stats());
+        (None, session.stats())
+    };
+    if let Some(path) = &args.trace {
+        let mut obs = exec.take_obs();
+        // the tracker already counted created tasks; only fold the
+        // discovery-side counters in
+        let created = obs.counters.tasks_created;
+        obs.counters.absorb_discovery(&stats);
+        obs.counters.tasks_created = created;
+        let doc = chrome_trace(&obs.trace, &obs.events, &obs.counters);
+        if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!(
+            "chrome trace written to {} (load at https://ui.perfetto.dev)",
+            path.display()
+        );
+        if let Some(g) = &graph {
+            println!(
+                "{}",
+                critical_path(g, &obs.events, obs.trace.span_ns, args.workers).render(5)
+            );
+        }
     }
     let st = prog.state.as_ref().unwrap();
     let reference = run_sequential(args.s, args.i, args.tel.min(args.s.pow(3)));

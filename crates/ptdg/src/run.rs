@@ -11,6 +11,8 @@
 use ptdg_core::exec::{run_program, ThreadsConfig, ThreadsReport};
 use ptdg_core::graph::{DiscoveryStats, GraphTemplate};
 use ptdg_core::handle::HandleSpace;
+use ptdg_core::obs::{RtCounters, RtEvent};
+use ptdg_core::profile::Trace;
 use ptdg_core::program::RankProgram;
 use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig, SimReport};
 
@@ -90,6 +92,38 @@ impl RunOutcome {
         match self {
             RunOutcome::Threads(_) => None,
             RunOutcome::Sim(r) => Some(r),
+        }
+    }
+
+    /// Kernel counters, merged over ranks (zeroed unless the run
+    /// profiled: `ExecConfig::profile` or any `record_trace_rank`).
+    pub fn counters(&self) -> RtCounters {
+        match self {
+            RunOutcome::Threads(r) => r.counters,
+            RunOutcome::Sim(r) => {
+                let mut total = RtCounters::default();
+                for rank in &r.ranks {
+                    total.merge(&rank.counters);
+                }
+                total
+            }
+        }
+    }
+
+    /// The lifecycle event stream (empty unless profiling; the simulator
+    /// records the rank selected by `SimConfig::record_trace_rank`).
+    pub fn events(&self) -> &[RtEvent] {
+        match self {
+            RunOutcome::Threads(r) => &r.events,
+            RunOutcome::Sim(r) => &r.events,
+        }
+    }
+
+    /// The recorded span trace, if one was requested.
+    pub fn trace(&self) -> Option<&Trace> {
+        match self {
+            RunOutcome::Threads(r) => r.trace.as_ref(),
+            RunOutcome::Sim(r) => r.trace.as_ref(),
         }
     }
 }

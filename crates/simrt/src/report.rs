@@ -1,6 +1,7 @@
 //! Simulation results.
 
 use ptdg_core::graph::DiscoveryStats;
+use ptdg_core::obs::{RtCounters, RtEvent};
 use ptdg_core::profile::Trace;
 use ptdg_memsim::{AccessStats, StallCycles};
 
@@ -41,6 +42,9 @@ pub struct RankReport {
     /// Overlapped work `W`, ns (work executed while a tracked request was
     /// open).
     pub overlapped_ns: u64,
+    /// Kernel counters — the same surface the thread back-end reports in
+    /// [`ptdg_core::exec::ThreadsReport::counters`].
+    pub counters: RtCounters,
 }
 
 impl RankReport {
@@ -113,6 +117,9 @@ pub struct SimReport {
     /// Captured graph per rank (empty unless `SimConfig::capture_graph`;
     /// in persistent mode this is the first-iteration template).
     pub graphs: Vec<ptdg_core::graph::GraphTemplate>,
+    /// Lifecycle event stream of the rank selected by
+    /// `SimConfig::record_trace_rank` (virtual time, already zero-based).
+    pub events: Vec<RtEvent>,
 }
 
 impl SimReport {

@@ -24,11 +24,12 @@ use crate::report::{RankReport, SimReport};
 use ptdg_core::builder::RecordingSubmitter;
 use ptdg_core::graph::{DiscoveryEngine, DiscoveryStats};
 use ptdg_core::handle::HandleSpace;
+use ptdg_core::obs::{EventRecorder, EVENT_RING_CAPACITY};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::profile::{Span, SpanKind, Trace};
 use ptdg_core::rt::{
     GraphInstance, HoldGate, InstanceOptions, PersistentInstance, ReadyQueues, ReadyTracker,
-    RtNode, SchedPolicy, ThrottleGate, REINSTANCE_BATCH,
+    RtNode, RtProbe, SchedPolicy, ThrottleGate, REINSTANCE_BATCH,
 };
 use ptdg_core::task::{TaskId, TaskSpec};
 use ptdg_core::throttle::ThrottleConfig;
@@ -164,6 +165,13 @@ struct RankState {
     overlapped_ns: u64,
     // trace
     trace: Option<Vec<Span>>,
+    /// Lifecycle-event sink the kernel emit sites narrate through;
+    /// enabled on the `record_trace_rank` rank only (spans stay in the
+    /// per-rank vector above — the recorder only carries events here).
+    probe: Arc<EventRecorder>,
+    throttle_stalls: u64,
+    throttle_stall_ns: u64,
+    comms_posted: u64,
     rng: SplitRng,
 }
 
@@ -273,16 +281,24 @@ impl<'p> TaskSim<'p> {
         let ranks = (0..cfg.n_ranks)
             .map(|r| {
                 let tracker = Arc::new(ReadyTracker::new());
+                let probe = Arc::new(EventRecorder::with_capacity(
+                    1,
+                    cfg.record_trace_rank == Some(r),
+                    0,
+                    EVENT_RING_CAPACITY,
+                ));
+                let mut instance = GraphInstance::new(
+                    Arc::clone(&tracker),
+                    InstanceOptions {
+                        want_bodies: false,
+                        keep_work: true,
+                        capture: cfg.persistent || cfg.capture_graph,
+                    },
+                );
+                instance.set_probe(Arc::clone(&probe) as Arc<dyn RtProbe>);
                 RankState {
                     engine: DiscoveryEngine::new(cfg.opts),
-                    instance: GraphInstance::new(
-                        Arc::clone(&tracker),
-                        InstanceOptions {
-                            want_bodies: false,
-                            keep_work: true,
-                            capture: cfg.persistent || cfg.capture_graph,
-                        },
-                    ),
+                    instance,
                     tracker,
                     queues: ReadyQueues::new(cfg.policy, n_cores),
                     gate: HoldGate::new(cfg.non_overlapped),
@@ -309,6 +325,10 @@ impl<'p> TaskSim<'p> {
                     overlap_last: SimTime::ZERO,
                     overlapped_ns: 0,
                     trace: (cfg.record_trace_rank == Some(r)).then(Vec::new),
+                    probe,
+                    throttle_stalls: 0,
+                    throttle_stall_ns: 0,
+                    comms_posted: 0,
                     rng: SplitRng::new(cfg.seed.wrapping_add(r as u64 * 0x9E37_79B9)),
                 }
             })
@@ -374,7 +394,7 @@ impl<'p> TaskSim<'p> {
                     // charged by the paced Reinstance steps below, which
                     // drop the visibility tokens batch by batch.
                     let pinst = st.pinst.as_ref().expect("template frozen after iter 0");
-                    pinst.begin_iteration(iter, &st.tracker);
+                    pinst.begin_iteration_with(iter, &st.tracker, st.probe.as_ref(), now.as_ns());
                     st.in_template_iter = true;
                     st.prod = Prod::Reinstance { iter, next: 0 };
                     self.evq.push(now, Ev::Producer(rank));
@@ -421,6 +441,7 @@ impl<'p> TaskSim<'p> {
                         let RankState {
                             engine, instance, ..
                         } = st;
+                        instance.set_now_ns(now.as_ns());
                         engine.submit(instance, &spec);
                         // Resolve the cost-model footprint of the nodes
                         // this submission created.
@@ -458,7 +479,11 @@ impl<'p> TaskSim<'p> {
                 st.overhead_ns += cost.as_ns();
                 st.disc_busy_ns += cost.as_ns();
                 st.span(0, now, t_end, SpanKind::Discovery, "<reinstance>", iter);
-                let ready = st.pinst.as_ref().unwrap().publish(next..hi);
+                let ready = st.pinst.as_ref().unwrap().publish_with(
+                    next..hi,
+                    st.probe.as_ref(),
+                    t_end.as_ns(),
+                );
                 for node in ready {
                     self.activate(rank, node.id.0, None, t_end);
                 }
@@ -524,10 +549,14 @@ impl<'p> TaskSim<'p> {
     }
 
     fn producer_help(&mut self, rank: u32, now: SimTime) {
-        if let Some((node, stolen)) = self.pick_task(rank, 0) {
+        if let Some((node, stolen)) = self.pick_task(rank, 0, now) {
             self.ranks[rank as usize].producer_helping = true;
             self.start_exec(rank, 0, node, stolen, now);
         } else {
+            // Throttled with nothing to help with: a genuine stall.
+            let st = &mut self.ranks[rank as usize];
+            st.throttle_stalls += 1;
+            st.throttle_stall_ns += THROTTLE_RETRY.as_ns();
             self.evq.push(now + THROTTLE_RETRY, Ev::Producer(rank));
         }
     }
@@ -569,9 +598,11 @@ impl<'p> TaskSim<'p> {
         }
     }
 
-    fn pick_task(&mut self, rank: u32, core: u32) -> Option<(u32, bool)> {
+    fn pick_task(&mut self, rank: u32, core: u32, now: SimTime) -> Option<(u32, bool)> {
         let st = &mut self.ranks[rank as usize];
-        let picked = st.queues.pop(Some(core as usize));
+        let picked = st
+            .queues
+            .pop_with(Some(core as usize), st.probe.as_ref(), now.as_ns());
         if picked.is_some() {
             st.tracker.scheduled();
         }
@@ -586,7 +617,7 @@ impl<'p> TaskSim<'p> {
             // Stale wakeup for the producer core while it is discovering.
             return;
         }
-        if let Some((node, stolen)) = self.pick_task(rank, core) {
+        if let Some((node, stolen)) = self.pick_task(rank, core, now) {
             self.start_exec(rank, core, node, stolen, now);
         } else {
             let st = &mut self.ranks[rank as usize];
@@ -712,7 +743,9 @@ impl<'p> TaskSim<'p> {
     /// quantity `per_release` is charged on).
     fn complete_node(&mut self, rank: u32, node: u32, by_core: Option<u32>, now: SimTime) -> usize {
         let rt_node = Arc::clone(self.ranks[rank as usize].node(node));
-        let done = rt_node.complete();
+        let probe = Arc::clone(&self.ranks[rank as usize].probe);
+        let done =
+            rt_node.complete_with(probe.as_ref(), by_core.unwrap_or(0) as usize, now.as_ns());
         for succ in &done.ready {
             self.activate(rank, succ.id.0, by_core, now);
         }
@@ -737,6 +770,7 @@ impl<'p> TaskSim<'p> {
         self.req_map.insert(req, (rank, node));
         let tracked = !matches!(op, CommOp::Irecv { .. });
         let st = &mut self.ranks[rank as usize];
+        st.comms_posted += 1;
         if tracked {
             st.acc_overlap(t1);
             st.open_tracked += 1;
@@ -802,6 +836,26 @@ impl<'p> TaskSim<'p> {
             } else {
                 st.engine.stats().edges_created
             };
+            // Kernel counters: drain the lifecycle recorder (virtual time
+            // is already zero-based — no rebase) and fold in the kernel's
+            // tallies, mirroring the thread back-end's surface.
+            let obs = st.probe.finish(false, self.machine.n_cores, disc_ns);
+            let mut counters = obs.counters;
+            counters.absorb_discovery(&st.engine.stats());
+            // The tracker counted every creation (discovery + re-instance);
+            // the discovery absorption above would under-count persistence.
+            counters.tasks_created = st.tracker.created_total() as u64;
+            counters.tasks_completed = counters.tasks_created - st.tracker.live() as u64;
+            counters.ready_hwm = st.tracker.ready_hwm() as u64;
+            counters.live_hwm = st.tracker.live_hwm() as u64;
+            counters.gate_held = st.gate.held_total();
+            counters.throttle_stalls = st.throttle_stalls;
+            counters.throttle_stall_ns = st.throttle_stall_ns;
+            counters.persistent_reuses = st.pinst.as_ref().map_or(0, |p| p.reuses());
+            counters.comms_posted = st.comms_posted;
+            if !obs.events.is_empty() {
+                report.events = obs.events;
+            }
             report.ranks.push(RankReport {
                 n_cores: self.machine.n_cores,
                 work_ns: st.work_ns,
@@ -823,6 +877,7 @@ impl<'p> TaskSim<'p> {
                 comm_coll_ns: self.net.tracked_comm_split(r as u32).0.as_ns(),
                 comm_p2p_ns: self.net.tracked_comm_split(r as u32).1.as_ns(),
                 overlapped_ns: st.overlapped_ns,
+                counters,
             });
             if self.cfg.persistent {
                 if let Some(p) = &st.pinst {

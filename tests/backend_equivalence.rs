@@ -174,6 +174,61 @@ fn numeric_results_identical_across_run_modes() {
     assert_eq!(chol_stream, chol_persistent, "cholesky digests");
 }
 
+#[test]
+fn breakdowns_are_well_formed_on_both_backends() {
+    // Wall clock and virtual clock cannot agree numerically, but the
+    // work/overhead/idle decomposition of §2.3.1 must be well-formed on
+    // both: positive work, and the three parts exactly conserving
+    // worker capacity (span × workers).
+    use ptdg::core::profile::Breakdown;
+
+    let prog = LuleshTask::new(LuleshConfig::single(6, 2, 8));
+
+    let threads = run(
+        &prog.space,
+        &prog,
+        Backend::Threads(ThreadsConfig {
+            exec: ExecConfig {
+                n_workers: 2,
+                profile: true,
+                ..Default::default()
+            },
+            opts: OptConfig::all(),
+            ..Default::default()
+        }),
+    );
+    let sim = run(
+        &prog.space,
+        &prog,
+        Backend::Sim {
+            machine: MachineConfig::tiny(4),
+            cfg: SimConfig {
+                opts: OptConfig::all(),
+                record_trace_rank: Some(0),
+                ..Default::default()
+            },
+        },
+    );
+
+    for (label, outcome) in [("threads", &threads), ("sim", &sim)] {
+        let trace = outcome.trace().unwrap_or_else(|| panic!("{label}: trace"));
+        let b = Breakdown::from_trace(trace);
+        assert!(b.work_ns > 0, "{label}: tasks did run");
+        assert!(b.span_ns > 0, "{label}: non-empty span");
+        assert!(b.n_workers > 0, "{label}: workers recorded");
+        let capacity = b.span_ns * b.n_workers as u64;
+        assert_eq!(
+            b.work_ns + b.overhead_ns + b.idle_ns,
+            capacity,
+            "{label}: breakdown conserves capacity"
+        );
+    }
+    // The simulator emits explicit overhead spans; the thread profiler's
+    // work-only trace folds non-work into idle by design.
+    let sb = Breakdown::from_trace(sim.trace().unwrap());
+    assert!(sb.overhead_ns > 0, "sim: explicit overhead spans");
+}
+
 // ---- random-DAG programs ------------------------------------------------
 
 const N_HANDLES: usize = 6;

@@ -1,0 +1,334 @@
+//! End-to-end observability contract: both back-ends narrate the same
+//! kernel, so the same `RankProgram` must produce the *identical* per-task
+//! lifecycle sequence on real threads and under the simulator; the Chrome
+//! exporter must emit a self-contained document with worker, discovery and
+//! counter tracks; and the critical-path analysis must respect its
+//! invariants (`cp ≤ makespan`, `cp ≤ T1`) on a real application.
+
+use ptdg::core::access::AccessMode;
+use ptdg::core::builder::TaskSubmitter;
+use ptdg::core::exec::{ExecConfig, ThreadsConfig};
+use ptdg::core::handle::HandleSpace;
+use ptdg::core::obs::{chrome_trace, critical_path, sequences_by_task, EventKind};
+use ptdg::core::opts::OptConfig;
+use ptdg::core::program::{Rank, RankProgram};
+use ptdg::core::task::TaskSpec;
+use ptdg::core::workdesc::{CommOp, WorkDesc};
+use ptdg::lulesh::{LuleshConfig, LuleshTask};
+use ptdg::simrt::{MachineConfig, SimConfig};
+use ptdg::{run, Backend, RunOutcome};
+
+fn threads_profiled(opts: OptConfig, persistent: bool) -> Backend {
+    Backend::Threads(ThreadsConfig {
+        exec: ExecConfig {
+            n_workers: 2,
+            profile: true,
+            ..Default::default()
+        },
+        opts,
+        persistent,
+        ..Default::default()
+    })
+}
+
+fn sim_profiled(opts: OptConfig, persistent: bool) -> Backend {
+    Backend::Sim {
+        machine: MachineConfig::tiny(4),
+        cfg: SimConfig {
+            opts,
+            persistent,
+            record_trace_rank: Some(0),
+            ..Default::default()
+        },
+    }
+}
+
+/// A single-rank program exercising every lifecycle shape: ordinary
+/// chained tasks, an `inoutset` fan (redirect nodes under optimization
+/// (c)), and a detached all-reduce communication task.
+struct Shapes {
+    space: HandleSpace,
+    a: ptdg::core::handle::DataHandle,
+    b: ptdg::core::handle::DataHandle,
+}
+
+impl Shapes {
+    fn new() -> Shapes {
+        let mut space = HandleSpace::new();
+        let a = space.region("a", 256);
+        let b = space.region("b", 256);
+        Shapes { space, a, b }
+    }
+}
+
+impl RankProgram for Shapes {
+    fn n_iterations(&self) -> u64 {
+        2
+    }
+    fn build_iteration(&self, _rank: Rank, _iter: u64, sub: &mut dyn TaskSubmitter) {
+        for _ in 0..3 {
+            sub.submit(
+                TaskSpec::new("chain")
+                    .depend(self.a, AccessMode::InOut)
+                    .work(WorkDesc::compute(1e4)),
+            );
+        }
+        for _ in 0..4 {
+            sub.submit(
+                TaskSpec::new("set")
+                    .depend(self.a, AccessMode::InOutSet)
+                    .work(WorkDesc::compute(1e4)),
+            );
+        }
+        sub.submit(
+            TaskSpec::new("reduce")
+                .depend(self.b, AccessMode::InOut)
+                .comm(CommOp::Iallreduce { bytes: 8 }),
+        );
+        sub.submit(
+            TaskSpec::new("after")
+                .depend(self.a, AccessMode::In)
+                .depend(self.b, AccessMode::In)
+                .work(WorkDesc::compute(1e4)),
+        );
+    }
+}
+
+/// The cross-backend contract: identical per-task `EventKind` sequences.
+fn assert_same_sequences(t: &RunOutcome, s: &RunOutcome) {
+    let ts = sequences_by_task(t.events());
+    let ss = sequences_by_task(s.events());
+    assert!(!ts.is_empty(), "thread back-end recorded events");
+    assert_eq!(
+        ts, ss,
+        "per-task lifecycle sequences differ across back-ends"
+    );
+}
+
+#[test]
+fn lifecycle_sequences_identical_across_backends() {
+    let prog = Shapes::new();
+    let t = run(
+        &prog.space,
+        &prog,
+        threads_profiled(OptConfig::all(), false),
+    );
+    let s = run(&prog.space, &prog, sim_profiled(OptConfig::all(), false));
+    assert_same_sequences(&t, &s);
+
+    // All five kernel hooks fired on both back-ends.
+    for (label, outcome) in [("threads", &t), ("sim", &s)] {
+        let kinds: std::collections::HashSet<EventKind> =
+            outcome.events().iter().map(|e| e.kind).collect();
+        for kind in [
+            EventKind::Created,
+            EventKind::Ready,
+            EventKind::Scheduled,
+            EventKind::CommPosted,
+            EventKind::Completed,
+        ] {
+            assert!(kinds.contains(&kind), "{label}: no {kind:?} event");
+        }
+    }
+
+    // Per-shape sequences: ordinary tasks pass through all four ordinary
+    // states; the comm task inserts CommPosted before Completed; redirect
+    // nodes skip Scheduled entirely.
+    let graphs = run(
+        &prog.space,
+        &prog,
+        Backend::Threads(ThreadsConfig {
+            capture_graph: true,
+            opts: OptConfig::all(),
+            ..Default::default()
+        }),
+    );
+    let g = &graphs.graphs()[0];
+    let seqs = sequences_by_task(t.events());
+    let mut saw_redirect = false;
+    for id in g.ids() {
+        let node = g.node(id);
+        let seq = &seqs[&id.0];
+        if node.is_redirect {
+            saw_redirect = true;
+            assert_eq!(
+                seq,
+                &vec![EventKind::Created, EventKind::Ready, EventKind::Completed],
+                "redirect {id:?}"
+            );
+        } else if node.name == "reduce" {
+            assert_eq!(
+                seq,
+                &vec![
+                    EventKind::Created,
+                    EventKind::Ready,
+                    EventKind::Scheduled,
+                    EventKind::CommPosted,
+                    EventKind::Completed,
+                ],
+                "comm task {id:?}"
+            );
+        } else {
+            assert_eq!(
+                seq,
+                &vec![
+                    EventKind::Created,
+                    EventKind::Ready,
+                    EventKind::Scheduled,
+                    EventKind::Completed,
+                ],
+                "ordinary task {id:?}"
+            );
+        }
+    }
+    assert!(saw_redirect, "optimization (c) produced redirect nodes");
+}
+
+#[test]
+fn persistent_lifecycle_sequences_identical_across_backends() {
+    let prog = Shapes::new();
+    let t = run(&prog.space, &prog, threads_profiled(OptConfig::all(), true));
+    let s = run(&prog.space, &prog, sim_profiled(OptConfig::all(), true));
+    assert_same_sequences(&t, &s);
+}
+
+#[test]
+fn lulesh_lifecycle_sequences_identical_across_backends() {
+    let prog = LuleshTask::new(LuleshConfig::single(6, 2, 8));
+    let t = run(
+        &prog.space,
+        &prog,
+        threads_profiled(OptConfig::all(), false),
+    );
+    let s = run(&prog.space, &prog, sim_profiled(OptConfig::all(), false));
+    assert_same_sequences(&t, &s);
+}
+
+#[test]
+fn counters_agree_across_backends() {
+    let prog = Shapes::new();
+    let t = run(
+        &prog.space,
+        &prog,
+        threads_profiled(OptConfig::all(), false),
+    );
+    let s = run(&prog.space, &prog, sim_profiled(OptConfig::all(), false));
+    let (tc, sc) = (t.counters(), s.counters());
+    assert!(tc.tasks_created > 0);
+    assert_eq!(tc.tasks_created, sc.tasks_created, "created");
+    assert_eq!(tc.tasks_completed, sc.tasks_completed, "completed");
+    assert_eq!(
+        tc.tasks_created, tc.tasks_completed,
+        "drained at quiescence"
+    );
+    // edges_created alone is timing-dependent (an edge to an
+    // already-retired producer is pruned, not created), but the
+    // structural probe count created+pruned is backend-invariant.
+    assert_eq!(
+        tc.edges_created + tc.edges_pruned,
+        sc.edges_created + sc.edges_pruned,
+        "structural edges"
+    );
+    assert_eq!(tc.dup_skipped, sc.dup_skipped, "dedup skips");
+    assert_eq!(tc.redirect_nodes, sc.redirect_nodes, "redirects");
+    assert_eq!(tc.comms_posted, sc.comms_posted, "comm posts");
+    assert_eq!(tc.comms_posted, 2, "one allreduce per iteration");
+    for (label, c) in [("threads", &tc), ("sim", &sc)] {
+        assert!(c.events_recorded > 0, "{label}: events recorded");
+        assert_eq!(c.events_dropped, 0, "{label}: ring did not drop");
+        assert!(c.live_hwm >= 1, "{label}: live high-water mark");
+        assert!(c.ready_hwm >= 1, "{label}: ready high-water mark");
+    }
+}
+
+#[test]
+fn persistent_counters_report_reuse() {
+    let prog = Shapes::new();
+    let t = run(&prog.space, &prog, threads_profiled(OptConfig::all(), true));
+    let s = run(&prog.space, &prog, sim_profiled(OptConfig::all(), true));
+    assert!(t.counters().persistent_reuses > 0, "threads reuse counter");
+    assert_eq!(
+        t.counters().persistent_reuses,
+        s.counters().persistent_reuses,
+        "reuse counters agree"
+    );
+}
+
+#[test]
+fn critical_path_invariants_hold_on_lulesh() {
+    let prog = LuleshTask::new(LuleshConfig::single(6, 2, 8));
+    let machine = MachineConfig::tiny(4);
+    let outcome = run(
+        &prog.space,
+        &prog,
+        Backend::Sim {
+            machine: machine.clone(),
+            cfg: SimConfig {
+                opts: OptConfig::all(),
+                record_trace_rank: Some(0),
+                capture_graph: true,
+                ..Default::default()
+            },
+        },
+    );
+    let makespan = outcome.sim().unwrap().rank(0).span_ns;
+    let cp = critical_path(
+        &outcome.graphs()[0],
+        outcome.events(),
+        makespan,
+        machine.n_cores,
+    );
+    assert!(cp.cp_ns > 0, "non-trivial critical path");
+    assert!(cp.cp_tasks > 0);
+    assert!(
+        cp.cp_ns <= cp.makespan_ns,
+        "cp {} must not exceed makespan {}",
+        cp.cp_ns,
+        cp.makespan_ns
+    );
+    assert!(cp.cp_ns <= cp.t1_ns, "cp bounded by total work");
+    assert!(cp.ideal_ns() <= cp.makespan_ns, "T1/p bounds the makespan");
+    assert!(!cp.top_tasks.is_empty());
+    let report = cp.render(5);
+    assert!(report.contains("critical path"));
+    assert!(report.contains("makespan"));
+}
+
+#[test]
+fn chrome_export_is_complete_on_both_backends() {
+    let prog = LuleshTask::new(LuleshConfig::single(6, 1, 8));
+    for backend in [
+        threads_profiled(OptConfig::all(), false),
+        sim_profiled(OptConfig::all(), false),
+    ] {
+        let outcome = run(&prog.space, &prog, backend);
+        let trace = outcome.trace().expect("trace recorded");
+        let doc = chrome_trace(trace, outcome.events(), &outcome.counters()).render();
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"displayTimeUnit\":\"ms\""));
+        assert!(doc.contains("worker 0"), "worker track metadata");
+        assert!(doc.contains("producer/discovery"), "discovery track");
+        assert!(doc.contains("live_tasks"), "live-task counter track");
+        assert!(doc.contains("ready_tasks"), "ready-task counter track");
+        assert!(
+            doc.contains("\"tasks_created\""),
+            "kernel counters ride along"
+        );
+    }
+}
+
+#[test]
+fn unprofiled_runs_record_nothing() {
+    let prog = Shapes::new();
+    let outcome = run(
+        &prog.space,
+        &prog,
+        Backend::Threads(ThreadsConfig {
+            opts: OptConfig::all(),
+            ..Default::default()
+        }),
+    );
+    assert!(outcome.events().is_empty(), "no events without profiling");
+    assert!(outcome.trace().is_none(), "no trace without profiling");
+    assert_eq!(outcome.counters().events_recorded, 0);
+}
