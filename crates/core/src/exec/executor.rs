@@ -10,14 +10,14 @@ use super::session::Session;
 use crate::obs::{EventRecorder, ObsReport};
 use crate::opts::OptConfig;
 use crate::profile::{Span, SpanKind, Trace};
-use crate::rt::{HoldGate, ReadyQueues, ReadyTracker, RtNode, RtProbe};
+use crate::rt::{HoldGate, Parker, ReadyQueues, ReadyTracker, RtNode, RtProbe};
 use crate::task::TaskCtx;
 use crate::throttle::{ThrottleConfig, ThrottleGate};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-pub use crate::rt::SchedPolicy;
+pub use crate::rt::{QueueBackend, SchedPolicy};
 
 /// Executor configuration.
 #[derive(Clone, Debug)]
@@ -53,6 +53,14 @@ pub(crate) struct Pool {
     pub gate: HoldGate<Arc<RtNode>>,
     pub throttle: ThrottleGate,
     pub shutdown: AtomicBool,
+    /// Eventcount all idle threads (workers and the waiting producer)
+    /// block on instead of sleep-polling. Wake discipline: `notify_one`
+    /// per task pushed, `notify_all` on one-to-many events — gate
+    /// release, reaching quiescence, shutdown.
+    pub parker: Parker,
+    /// Park/unpark telemetry (Relaxed: stats only).
+    pub parks: AtomicU64,
+    pub unparks: AtomicU64,
     pub profile: bool,
     /// Lock-free span/event sink; one lane per worker plus one for the
     /// producer (last). Implements [`RtProbe`], so it is also the probe
@@ -92,27 +100,40 @@ impl Pool {
     /// `Scheduled`, gate bypassed: a redirect "runs" the moment its
     /// predecessors are done even in non-overlapped mode, because its
     /// successors are still held by the gate).
+    ///
+    /// Iterative, not recursive: a chain of redirect nodes completing
+    /// into one another is walked with an explicit worklist, so graphs
+    /// with arbitrarily deep redirect chains cannot overflow the stack.
+    /// The common case — one non-redirect node — allocates nothing.
     pub fn make_ready(&self, node: Arc<RtNode>, local: Option<usize>) {
-        if node.is_redirect {
-            let core = local.unwrap_or(self.n_workers);
-            let done = node.complete_with(&*self.recorder, core, self.probe_now());
-            self.tracker.completed();
-            for succ in done.ready {
-                self.make_ready(succ, local);
+        let mut next = Some(node);
+        let mut worklist: Vec<Arc<RtNode>> = Vec::new();
+        while let Some(node) = next.take().or_else(|| worklist.pop()) {
+            if node.is_redirect {
+                let core = local.unwrap_or(self.n_workers);
+                let done = node.complete_with(&*self.recorder, core, self.probe_now());
+                if self.tracker.completed() {
+                    self.parker.notify_all();
+                }
+                worklist.extend(done.ready);
+            } else if let Some(node) = self.gate.offer(node) {
+                self.tracker.became_ready();
+                self.queues.push(node, local);
+                self.parker.notify_one();
             }
-            return;
-        }
-        if let Some(node) = self.gate.offer(node) {
-            self.tracker.became_ready();
-            self.queues.push(node, local);
         }
     }
 
     /// Open the gate, flushing buffered ready tasks in discovery order.
     pub fn release_gate(&self) {
+        let mut flushed = false;
         for node in self.gate.release() {
             self.tracker.became_ready();
             self.queues.push(node, None);
+            flushed = true;
+        }
+        if flushed {
+            self.parker.notify_all();
         }
     }
 
@@ -131,7 +152,10 @@ impl Pool {
     pub fn run_task(&self, node: Arc<RtNode>, local: Option<usize>, worker_idx: usize) {
         let ctx = TaskCtx {
             task: node.id,
-            iter: node.iter.load(Ordering::SeqCst),
+            // Relaxed: `iter` is stamped before the node is published to a
+            // queue; the queue transfer (mutex, or Release push → Acquire
+            // pop/steal) is the happens-before edge that makes it visible.
+            iter: node.iter.load(Ordering::Relaxed),
             worker: worker_idx,
         };
         let t0 = if self.profile { self.now_ns() } else { 0 };
@@ -150,12 +174,18 @@ impl Pool {
             });
         }
         if node.comm.is_some() {
-            self.comms_posted.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: statistic, read after the run quiesces.
+            self.comms_posted.fetch_add(1, Ordering::Relaxed);
         }
         for succ in node.complete_with(&*self.recorder, worker_idx, t1).ready {
             self.make_ready(succ, local);
         }
-        self.tracker.completed();
+        if self.tracker.completed() {
+            // Last live task: wake everything blocked on quiescence (the
+            // producer in `wait_all`/`taskwait`/persistent barriers, and
+            // workers waiting out a shutdown drain).
+            self.parker.notify_all();
+        }
     }
 
     /// Try to execute one task from outside the worker pool (producer
@@ -168,22 +198,62 @@ impl Pool {
             false
         }
     }
+
+    /// Help execute until the tracker reports quiescence, parking — not
+    /// sleep-polling — when no work is available. The producer-side
+    /// implicit barrier behind `wait_all`, `taskwait`, and persistent
+    /// iteration boundaries.
+    pub fn barrier(&self) {
+        loop {
+            if self.help_once() {
+                continue;
+            }
+            if self.tracker.quiescent() {
+                return;
+            }
+            // Two-phase park (see `worker_loop`): re-check quiescence
+            // and the queues after taking the ticket, so neither the
+            // completion nor a push racing with us can be missed — the
+            // notify it performs invalidates our ticket.
+            let ticket = self.parker.prepare();
+            if self.tracker.quiescent() {
+                return;
+            }
+            if self.help_once() {
+                continue;
+            }
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            self.parker.park(ticket);
+            self.unparks.fetch_add(1, Ordering::Relaxed);
+        }
+    }
 }
 
 fn worker_loop(pool: Arc<Pool>, idx: usize) {
     loop {
         if let Some(node) = pool.find_task(Some(idx)) {
             pool.run_task(node, Some(idx), idx);
-        } else if pool.shutdown.load(Ordering::SeqCst) {
-            // Drain once more to avoid losing tasks racing with shutdown.
-            if let Some(node) = pool.find_task(Some(idx)) {
-                pool.run_task(node, Some(idx), idx);
-            } else {
-                return;
-            }
-        } else {
-            std::thread::sleep(Duration::from_micros(20));
+            continue;
         }
+        // Two-phase park: take a ticket, re-check every wake condition,
+        // then sleep. Any notify between `prepare` and `park` makes
+        // `park` return immediately, so a task pushed (or shutdown
+        // raised) in that window cannot be missed.
+        let ticket = pool.parker.prepare();
+        if let Some(node) = pool.find_task(Some(idx)) {
+            pool.run_task(node, Some(idx), idx);
+            continue;
+        }
+        // Exit only once the pool is both shutting down *and* drained:
+        // `quiescent` (not just an empty queue) means no in-flight task
+        // can spawn more work, so nothing is abandoned by leaving.
+        // Acquire pairs with the Release store in `Executor::drop`.
+        if pool.shutdown.load(Ordering::Acquire) && pool.tracker.quiescent() {
+            return;
+        }
+        pool.parks.fetch_add(1, Ordering::Relaxed);
+        pool.parker.park(ticket);
+        pool.unparks.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -196,15 +266,26 @@ pub struct Executor {
 }
 
 impl Executor {
-    /// Spawn an executor with `cfg.n_workers` worker threads.
+    /// Spawn an executor with `cfg.n_workers` worker threads on the
+    /// lock-free scheduler fast path (Chase–Lev deques + injector).
     pub fn new(cfg: ExecConfig) -> Executor {
+        Self::with_queue_backend(cfg, QueueBackend::LockFree)
+    }
+
+    /// Spawn an executor with an explicit [`QueueBackend`] — the mutex
+    /// baseline is kept selectable so `scheduler_throughput` (and any
+    /// future A/B) can measure the lock-free path against it.
+    pub fn with_queue_backend(cfg: ExecConfig, backend: QueueBackend) -> Executor {
         assert!(cfg.n_workers >= 1, "need at least one worker");
         let pool = Arc::new(Pool {
-            queues: ReadyQueues::new(cfg.policy, cfg.n_workers),
+            queues: ReadyQueues::with_backend(cfg.policy, cfg.n_workers, backend),
             tracker: Arc::new(ReadyTracker::new()),
             gate: HoldGate::new(false),
             throttle: ThrottleGate::new(cfg.throttle),
             shutdown: AtomicBool::new(false),
+            parker: Parker::new(),
+            parks: AtomicU64::new(0),
+            unparks: AtomicU64::new(0),
             profile: cfg.profile,
             recorder: Arc::new(EventRecorder::new(cfg.n_workers + 1, cfg.profile)),
             start: Instant::now(),
@@ -277,10 +358,13 @@ impl Executor {
     /// [`crate::obs::RtCounters::absorb_discovery`]). Wall-clock
     /// timestamps are rebased to the earliest record.
     pub fn take_obs(&self) -> ObsReport {
+        // Relaxed loads throughout: these are post-quiescence statistics;
+        // the `wait_all` barrier that preceded this call is the
+        // synchronization point.
         let mut obs = self.pool.recorder.finish(
             true,
             self.cfg.n_workers + 1,
-            self.pool.last_discovery_ns.load(Ordering::SeqCst),
+            self.pool.last_discovery_ns.load(Ordering::Relaxed),
         );
         let c = &mut obs.counters;
         let created = self.pool.tracker.created_total() as u64;
@@ -289,9 +373,14 @@ impl Executor {
         c.ready_hwm = self.pool.tracker.ready_hwm() as u64;
         c.live_hwm = self.pool.tracker.live_hwm() as u64;
         c.gate_held = self.pool.gate.held_total();
-        c.throttle_stalls = self.pool.throttle_stalls.load(Ordering::SeqCst);
-        c.throttle_stall_ns = self.pool.throttle_stall_ns.load(Ordering::SeqCst);
-        c.comms_posted = self.pool.comms_posted.load(Ordering::SeqCst);
+        c.throttle_stalls = self.pool.throttle_stalls.load(Ordering::Relaxed);
+        c.throttle_stall_ns = self.pool.throttle_stall_ns.load(Ordering::Relaxed);
+        c.comms_posted = self.pool.comms_posted.load(Ordering::Relaxed);
+        let (attempts, successes) = self.pool.queues.steal_stats();
+        c.steal_attempts = attempts;
+        c.steal_successes = successes;
+        c.parks = self.pool.parks.load(Ordering::Relaxed);
+        c.unparks = self.pool.unparks.load(Ordering::Relaxed);
         obs
     }
 }
@@ -299,7 +388,11 @@ impl Executor {
 impl Drop for Executor {
     fn drop(&mut self) {
         self.pool.release_gate();
-        self.pool.shutdown.store(true, Ordering::SeqCst);
+        // Release pairs with the Acquire load in `worker_loop`; the
+        // `notify_all` epoch bump (SeqCst) makes the store visible to
+        // already-parked workers when they wake.
+        self.pool.shutdown.store(true, Ordering::Release);
+        self.pool.parker.notify_all();
         for w in self.workers.drain(..) {
             let _ = w.join();
         }

@@ -38,7 +38,7 @@ mod session;
 #[cfg(test)]
 mod tests;
 
-pub use executor::{ExecConfig, Executor, SchedPolicy};
+pub use executor::{ExecConfig, Executor, QueueBackend, SchedPolicy};
 pub use persistent::PersistentRegion;
 pub use run::{run_program, ThreadsConfig, ThreadsReport};
 pub use session::Session;

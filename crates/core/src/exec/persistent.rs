@@ -7,7 +7,6 @@ use crate::opts::OptConfig;
 use crate::rt::PersistentInstance;
 use crate::task::TaskId;
 use std::sync::Arc;
-use std::time::Duration;
 
 /// The `#pragma omp ptsg` region of the paper (Fig. 5).
 ///
@@ -86,16 +85,9 @@ impl<'e> PersistentRegion<'e> {
         for node in pinst.publish_with(0..pinst.len(), &*pool.recorder, now) {
             pool.make_ready(node, None);
         }
-        // Implicit end-of-iteration barrier.
-        loop {
-            if pool.help_once() {
-                continue;
-            }
-            if pool.tracker.quiescent() {
-                break;
-            }
-            std::thread::sleep(Duration::from_micros(20));
-        }
+        // Implicit end-of-iteration barrier (help, then park — never
+        // sleep-poll).
+        pool.barrier();
     }
 
     /// The captured template, if the first iteration has run.

@@ -9,7 +9,7 @@ use crate::rt::{GraphInstance, InstanceOptions, RtProbe};
 use crate::task::{TaskId, TaskSpec};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// One sequential discovery stream plus the right to wait for its tasks.
 ///
@@ -81,7 +81,8 @@ impl<'e> Session<'e> {
             pool.make_ready(node, None);
         }
         if pool.throttle.should_help(&pool.tracker) {
-            pool.throttle_stalls.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: producer-written statistics, read post-quiescence.
+            pool.throttle_stalls.fetch_add(1, Ordering::Relaxed);
             let h0 = Instant::now();
             while pool.throttle.should_help(&pool.tracker) {
                 if !pool.help_once() {
@@ -89,7 +90,7 @@ impl<'e> Session<'e> {
                 }
             }
             pool.throttle_stall_ns
-                .fetch_add(h0.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                .fetch_add(h0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         id
     }
@@ -108,15 +109,7 @@ impl<'e> Session<'e> {
     pub fn taskwait(&mut self) {
         let pool = Arc::clone(self.exec.pool());
         pool.release_gate();
-        loop {
-            if pool.help_once() {
-                continue;
-            }
-            if pool.tracker.quiescent() {
-                break;
-            }
-            std::thread::sleep(Duration::from_micros(20));
-        }
+        pool.barrier();
     }
 
     /// Discovery statistics so far.
@@ -137,17 +130,10 @@ impl<'e> Session<'e> {
     pub fn wait_all(&mut self) {
         let pool = Arc::clone(self.exec.pool());
         pool.release_gate();
+        // Relaxed: producer-written, read by `take_obs` after this call.
         pool.last_discovery_ns
-            .store(self.discovery_ns(), Ordering::SeqCst);
-        loop {
-            if pool.help_once() {
-                continue;
-            }
-            if pool.tracker.quiescent() {
-                break;
-            }
-            std::thread::sleep(Duration::from_micros(20));
-        }
+            .store(self.discovery_ns(), Ordering::Relaxed);
+        pool.barrier();
     }
 
     /// Wait for completion, then return the captured template and the

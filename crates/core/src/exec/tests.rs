@@ -512,3 +512,44 @@ fn capture_iteration_stamps_requested_iter() {
     region.run(8, |_| unreachable!());
     assert_eq!(seen.load(Ordering::SeqCst), 8);
 }
+
+#[test]
+fn deep_redirect_chain_does_not_overflow_stack() {
+    // make_ready walks redirect completions with an explicit worklist;
+    // a chain this deep overflows the test thread's stack if anyone
+    // reintroduces recursion there.
+    use crate::rt::RtNode;
+    use crate::task::TaskId;
+    const DEPTH: usize = 200_000;
+    let e = exec(2);
+    let pool = Arc::clone(e.pool());
+    let chain: Vec<_> = (0..DEPTH)
+        .map(|i| RtNode::redirect(TaskId(i as u32), 0))
+        .collect();
+    for w in chain.windows(2) {
+        assert!(w[0].attach_succ(&w[1]));
+    }
+    let ran = Arc::new(AtomicUsize::new(0));
+    let tail = RtNode::bare(
+        TaskId(DEPTH as u32),
+        "tail",
+        Some(Arc::new({
+            let ran = Arc::clone(&ran);
+            move |_: &crate::task::TaskCtx| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }
+        })),
+        0,
+    );
+    assert!(chain.last().unwrap().attach_succ(&tail));
+    // Drop every creation token; non-head nodes keep their 1 predecessor.
+    for n in chain.iter().skip(1) {
+        assert!(!n.seal());
+    }
+    assert!(!tail.seal());
+    pool.tracker.created(DEPTH + 1);
+    assert!(chain[0].seal(), "head has only its token");
+    pool.make_ready(Arc::clone(&chain[0]), None);
+    pool.barrier();
+    assert_eq!(ran.load(Ordering::SeqCst), 1, "tail task ran exactly once");
+}

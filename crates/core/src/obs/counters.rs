@@ -44,6 +44,16 @@ pub struct RtCounters {
     pub persistent_reuses: u64,
     /// Communication operations posted.
     pub comms_posted: u64,
+    /// Steal probes against other cores' deques (thread back-end: the
+    /// lock-free steal loop; simulator: victim scans).
+    pub steal_attempts: u64,
+    /// Steal probes that came back with a task.
+    pub steal_successes: u64,
+    /// Times an idle thread blocked on the scheduler eventcount
+    /// (thread back-end only; the simulator never parks).
+    pub parks: u64,
+    /// Times a parked thread woke.
+    pub unparks: u64,
     /// Lifecycle events captured by the recorder.
     pub events_recorded: u64,
     /// Events dropped on ring overflow (0 in a trustworthy trace).
@@ -81,6 +91,10 @@ impl RtCounters {
         self.gate_held += o.gate_held;
         self.persistent_reuses += o.persistent_reuses;
         self.comms_posted += o.comms_posted;
+        self.steal_attempts += o.steal_attempts;
+        self.steal_successes += o.steal_successes;
+        self.parks += o.parks;
+        self.unparks += o.unparks;
         self.events_recorded += o.events_recorded;
         self.events_dropped += o.events_dropped;
         self.trace_overhead_ns += o.trace_overhead_ns;
@@ -105,6 +119,10 @@ impl RtCounters {
             ("gate_held", self.gate_held),
             ("persistent_reuses", self.persistent_reuses),
             ("comms_posted", self.comms_posted),
+            ("steal_attempts", self.steal_attempts),
+            ("steal_successes", self.steal_successes),
+            ("parks", self.parks),
+            ("unparks", self.unparks),
             ("events_recorded", self.events_recorded),
             ("events_dropped", self.events_dropped),
             ("trace_overhead_ns", self.trace_overhead_ns),
@@ -155,6 +173,6 @@ mod tests {
         assert_eq!(c.tasks_created, 103, "tasks + redirects");
         assert_eq!(c.edges_created, 180);
         assert_eq!(c.dup_skipped, 12);
-        assert_eq!(c.pairs().len(), 18, "every field is exported");
+        assert_eq!(c.pairs().len(), 22, "every field is exported");
     }
 }

@@ -5,8 +5,10 @@
 //! lifecycle event stream, compute the longest weighted dependence chain
 //! (node weight = measured schedule→completion time), and compare it to
 //! the achieved makespan and the ideal `T1/p`. Template node ids are
-//! topologically ordered — sequential discovery only ever attaches edges
-//! from an existing node to a newer one — so one ascending pass suffices.
+//! *mostly* discovery-ordered, but optimization (c) inserts redirect
+//! nodes after the dependent task they feed — an edge from a higher to
+//! a lower id — so the longest-path pass runs over an explicit Kahn
+//! topological order rather than ascending ids.
 
 use super::event::{EventKind, RtEvent};
 use crate::graph::GraphTemplate;
@@ -102,18 +104,34 @@ pub fn critical_path(
 ) -> CritPath {
     let n = graph.n_nodes();
     let dur = durations(n, events);
+    // Kahn topological order: redirect nodes (optimization (c)) are
+    // created after the task they feed, so ascending ids would visit
+    // some successors before their predecessor and under-count chains
+    // passing through a redirect.
+    let mut indegree: Vec<usize> = vec![0; n];
+    for id in graph.ids() {
+        for s in graph.successors(id) {
+            indegree[s.index()] += 1;
+        }
+    }
+    let mut order: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut head = 0;
+    while head < order.len() {
+        let i = order[head];
+        head += 1;
+        for s in graph.successors(crate::task::TaskId(i as u32)) {
+            indegree[s.index()] -= 1;
+            if indegree[s.index()] == 0 {
+                order.push(s.index());
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "executed template is acyclic");
     let mut dist: Vec<u64> = vec![0; n]; // longest-path length *into* node
     let mut parent: Vec<Option<usize>> = vec![None; n];
-    for id in graph.ids() {
-        let i = id.index();
+    for &i in &order {
         let reach = dist[i] + dur[i];
-        for s in graph.successors(id) {
-            debug_assert!(
-                s.index() > i,
-                "template edges follow discovery order ({} -> {})",
-                i,
-                s.index()
-            );
+        for s in graph.successors(crate::task::TaskId(i as u32)) {
             if reach > dist[s.index()] {
                 dist[s.index()] = reach;
                 parent[s.index()] = Some(i);

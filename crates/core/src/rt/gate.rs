@@ -28,14 +28,20 @@ impl<T> HoldGate<T> {
     }
 
     /// Whether the gate is currently holding items back.
+    ///
+    /// Relaxed: the flag alone never gates data. The fast path in
+    /// [`HoldGate::offer`] may race a concurrent `close`/`release`, and
+    /// either answer is acceptable there precisely because the slow path
+    /// re-checks under `held`'s mutex — the mutex, not this load, is the
+    /// synchronization.
     pub fn is_closed(&self) -> bool {
-        self.closed.load(Ordering::SeqCst)
+        self.closed.load(Ordering::Relaxed)
     }
 
     /// Close the gate: subsequent offers are held until `release`.
     pub fn close(&self) {
         let _held = self.held();
-        self.closed.store(true, Ordering::SeqCst);
+        self.closed.store(true, Ordering::Relaxed);
     }
 
     /// Offer an item: returns it back if the gate is open, or holds it and
@@ -48,7 +54,8 @@ impl<T> HoldGate<T> {
         let mut held = self.held();
         if self.is_closed() {
             held.push(item);
-            self.held_total.fetch_add(1, Ordering::SeqCst);
+            // Relaxed: statistic, read post-quiescence.
+            self.held_total.fetch_add(1, Ordering::Relaxed);
             None
         } else {
             Some(item)
@@ -58,13 +65,13 @@ impl<T> HoldGate<T> {
     /// Open the gate and take everything held.
     pub fn release(&self) -> Vec<T> {
         let mut held = self.held();
-        self.closed.store(false, Ordering::SeqCst);
+        self.closed.store(false, Ordering::Relaxed);
         std::mem::take(&mut held)
     }
 
     /// Total items ever held back (observability counter).
     pub fn held_total(&self) -> u64 {
-        self.held_total.load(Ordering::SeqCst)
+        self.held_total.load(Ordering::Relaxed)
     }
 }
 

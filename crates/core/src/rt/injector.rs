@@ -1,0 +1,500 @@
+//! Lock-free global injector: an unbounded multi-producer multi-consumer
+//! FIFO for ready tasks that have no home deque.
+//!
+//! Under depth-first scheduling this receives producer-made-ready tasks
+//! (discovery, gate release, persistent publish); under breadth-first it
+//! carries *every* ready task. It must therefore be strictly FIFO — the
+//! breadth-first policy *is* "run in discovery order" — and cheap under
+//! one producer plus many consumers.
+//!
+//! The implementation is a Michael–Scott-style linked queue of fixed
+//! 32-slot segments (the widely used block-based refinement of the MS
+//! queue, as in crossbeam's `SegQueue`): producers claim a slot by CAS on
+//! a global tail index, consumers claim by CAS on a head index, and the
+//! per-slot `WRITE`/`READ`/`DESTROY` state bits let the *last* consumer
+//! out of a segment free it without any epoch or hazard-pointer scheme.
+//! FIFO order is exact: a consumer that observes `head == tail` returns
+//! `None` without claiming, so indices only advance when an element is
+//! actually transferred.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
+
+/// Slots per segment. One slot per segment is sacrificed as the
+/// "install next segment" marker, so 31 values fit in each.
+const LAP: usize = 32;
+const SEG_CAP: usize = LAP - 1;
+
+/// Indices advance in units of `1 << SHIFT`; the low bit marks "the head
+/// lap has a successor segment" so consumers can skip the empty check.
+const SHIFT: usize = 1;
+const HAS_NEXT: usize = 1;
+
+// Per-slot state bits.
+const WRITE: usize = 1; // value written, safe to read
+const READ: usize = 2; // value consumed
+const DESTROY: usize = 4; // segment tear-down reached this slot first
+
+struct Slot<T> {
+    value: UnsafeCell<MaybeUninit<T>>,
+    state: AtomicUsize,
+}
+
+impl<T> Slot<T> {
+    /// Spin until the producer that claimed this slot has written it.
+    /// The wait is bounded: the producer is past its index CAS and only
+    /// has the value store left. After a short spin, yield — the writer
+    /// may have been preempted on an oversubscribed machine, and a pure
+    /// spin would burn its whole timeslice waiting for it.
+    fn wait_write(&self) {
+        let mut spins = 0u32;
+        while self.state.load(Ordering::Acquire) & WRITE == 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+struct Segment<T> {
+    next: AtomicPtr<Segment<T>>,
+    slots: [Slot<T>; SEG_CAP],
+}
+
+impl<T> Segment<T> {
+    fn new() -> Box<Segment<T>> {
+        Box::new(Segment {
+            next: AtomicPtr::new(ptr::null_mut()),
+            slots: std::array::from_fn(|_| Slot {
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+                state: AtomicUsize::new(0),
+            }),
+        })
+    }
+
+    /// Spin until the producer that filled the last slot has installed
+    /// the successor segment.
+    fn wait_next(&self) -> *mut Segment<T> {
+        loop {
+            let next = self.next.load(Ordering::Acquire);
+            if !next.is_null() {
+                return next;
+            }
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Mark slots `start..` for tear-down; the segment is freed by
+    /// whichever thread — this one or a still-reading consumer — touches
+    /// the last live slot. `start` skips slots the caller already owns.
+    unsafe fn destroy(this: *mut Segment<T>, start: usize) {
+        // The last slot needs no DESTROY bit: its consumer initiated the
+        // tear-down.
+        for i in start..SEG_CAP - 1 {
+            let slot = &(*this).slots[i];
+            if slot.state.load(Ordering::Acquire) & READ == 0
+                && slot.state.fetch_or(DESTROY, Ordering::AcqRel) & READ == 0
+            {
+                // A consumer still holds this slot; it sees DESTROY on its
+                // READ fetch_or and continues the tear-down from i + 1.
+                return;
+            }
+        }
+        drop(Box::from_raw(this));
+    }
+}
+
+/// One end of the queue: a global slot index plus the segment it points
+/// into. Padded so producers and consumers do not false-share.
+#[repr(align(128))]
+struct Position<T> {
+    index: AtomicUsize,
+    seg: AtomicPtr<Segment<T>>,
+}
+
+/// An unbounded lock-free MPMC FIFO.
+pub struct Injector<T> {
+    head: Position<T>,
+    tail: Position<T>,
+}
+
+// SAFETY: values are handed across threads exactly once; `&T` is never
+// exposed to more than the consuming thread.
+unsafe impl<T: Send> Send for Injector<T> {}
+unsafe impl<T: Send> Sync for Injector<T> {}
+
+impl<T> Injector<T> {
+    pub fn new() -> Injector<T> {
+        Injector {
+            head: Position {
+                index: AtomicUsize::new(0),
+                seg: AtomicPtr::new(ptr::null_mut()),
+            },
+            tail: Position {
+                index: AtomicUsize::new(0),
+                seg: AtomicPtr::new(ptr::null_mut()),
+            },
+        }
+    }
+
+    /// Enqueue at the tail. Lock-free; any thread.
+    pub fn push(&self, value: T) {
+        let mut tail = self.tail.index.load(Ordering::Acquire);
+        let mut seg = self.tail.seg.load(Ordering::Acquire);
+        let mut next_seg: Option<Box<Segment<T>>> = None;
+        loop {
+            let offset = (tail >> SHIFT) % LAP;
+            if offset == SEG_CAP {
+                // Another producer is installing the next segment; wait
+                // for the tail to move past the marker slot.
+                std::hint::spin_loop();
+                tail = self.tail.index.load(Ordering::Acquire);
+                seg = self.tail.seg.load(Ordering::Acquire);
+                continue;
+            }
+            // About to fill the last slot: pre-allocate the successor so
+            // the post-CAS install is allocation-free.
+            if offset + 1 == SEG_CAP && next_seg.is_none() {
+                next_seg = Some(Segment::new());
+            }
+            if seg.is_null() {
+                // Very first push: race to install the initial segment.
+                let new = Box::into_raw(next_seg.take().unwrap_or_else(Segment::new));
+                match self.tail.seg.compare_exchange(
+                    ptr::null_mut(),
+                    new,
+                    Ordering::Release,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.head.seg.store(new, Ordering::Release);
+                        seg = new;
+                    }
+                    Err(current) => {
+                        // SAFETY: `new` was never shared.
+                        next_seg = Some(unsafe { Box::from_raw(new) });
+                        tail = self.tail.index.load(Ordering::Acquire);
+                        seg = current;
+                        continue;
+                    }
+                }
+            }
+            let new_tail = tail + (1 << SHIFT);
+            match self.tail.index.compare_exchange_weak(
+                tail,
+                new_tail,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                // SAFETY: the CAS claimed slot `offset` of `seg`
+                // exclusively for this producer.
+                Ok(_) => unsafe {
+                    if offset + 1 == SEG_CAP {
+                        // Filling the last slot: install the successor and
+                        // move the tail past the marker slot.
+                        let next = Box::into_raw(next_seg.take().expect("pre-allocated above"));
+                        self.tail.seg.store(next, Ordering::Release);
+                        self.tail
+                            .index
+                            .store(new_tail + (1 << SHIFT), Ordering::Release);
+                        (*seg).next.store(next, Ordering::Release);
+                    }
+                    let slot = &(*seg).slots[offset];
+                    (*slot.value.get()).write(value);
+                    slot.state.fetch_or(WRITE, Ordering::Release);
+                    return;
+                },
+                Err(t) => {
+                    tail = t;
+                    seg = self.tail.seg.load(Ordering::Acquire);
+                }
+            }
+        }
+    }
+
+    /// Dequeue from the head. Lock-free; any thread. Returns `None` only
+    /// after observing an empty queue (`head == tail`) without claiming —
+    /// FIFO order is exact across all producers and consumers.
+    pub fn pop(&self) -> Option<T> {
+        let mut head = self.head.index.load(Ordering::Acquire);
+        let mut seg = self.head.seg.load(Ordering::Acquire);
+        loop {
+            let offset = (head >> SHIFT) % LAP;
+            if offset == SEG_CAP {
+                // Marker slot: a consumer is installing the new head
+                // segment; wait for it.
+                std::hint::spin_loop();
+                head = self.head.index.load(Ordering::Acquire);
+                seg = self.head.seg.load(Ordering::Acquire);
+                continue;
+            }
+            let mut new_head = head + (1 << SHIFT);
+            if new_head & HAS_NEXT == 0 {
+                // Unknown whether this lap has a successor: check
+                // emptiness against the tail. The fence orders this load
+                // against producer-side index CASes.
+                fence(Ordering::SeqCst);
+                let tail = self.tail.index.load(Ordering::Relaxed);
+                if head >> SHIFT == tail >> SHIFT {
+                    return None;
+                }
+                if (head >> SHIFT) / LAP != (tail >> SHIFT) / LAP {
+                    new_head |= HAS_NEXT;
+                }
+            }
+            if seg.is_null() {
+                // Non-empty but the first producer has not installed the
+                // initial segment yet.
+                std::hint::spin_loop();
+                head = self.head.index.load(Ordering::Acquire);
+                seg = self.head.seg.load(Ordering::Acquire);
+                continue;
+            }
+            match self.head.index.compare_exchange_weak(
+                head,
+                new_head,
+                Ordering::SeqCst,
+                Ordering::Acquire,
+            ) {
+                // SAFETY: the CAS claimed slot `offset` of `seg`
+                // exclusively for this consumer.
+                Ok(_) => unsafe {
+                    if offset + 1 == SEG_CAP {
+                        // Claimed the last slot: advance the head segment
+                        // past the marker before reading.
+                        let next = (*seg).wait_next();
+                        let mut next_index = (new_head & !HAS_NEXT).wrapping_add(1 << SHIFT);
+                        if !(*next).next.load(Ordering::Relaxed).is_null() {
+                            next_index |= HAS_NEXT;
+                        }
+                        self.head.seg.store(next, Ordering::Release);
+                        self.head.index.store(next_index, Ordering::Release);
+                    }
+                    let slot = &(*seg).slots[offset];
+                    slot.wait_write();
+                    let value = (*slot.value.get()).assume_init_read();
+                    if offset + 1 == SEG_CAP {
+                        // Last slot out: start the tear-down from slot 0.
+                        Segment::destroy(seg, 0);
+                    } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
+                        // Tear-down already passed us; continue it.
+                        Segment::destroy(seg, offset + 1);
+                    }
+                    return Some(value);
+                },
+                Err(h) => {
+                    head = h;
+                    seg = self.head.seg.load(Ordering::Acquire);
+                }
+            }
+        }
+    }
+
+    /// Whether the queue was observed empty (racy under concurrency).
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.index.load(Ordering::SeqCst);
+        let tail = self.tail.index.load(Ordering::SeqCst);
+        head >> SHIFT == tail >> SHIFT
+    }
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Injector::new()
+    }
+}
+
+impl<T> Drop for Injector<T> {
+    fn drop(&mut self) {
+        let mut head = *self.head.index.get_mut() & !HAS_NEXT;
+        let tail = *self.tail.index.get_mut() & !HAS_NEXT;
+        let mut seg = *self.head.seg.get_mut();
+        // SAFETY: exclusive access; walk the un-consumed range, dropping
+        // values and freeing segments.
+        unsafe {
+            while head != tail {
+                let offset = (head >> SHIFT) % LAP;
+                if offset < SEG_CAP {
+                    let slot = &(*seg).slots[offset];
+                    (*slot.value.get()).assume_init_drop();
+                } else {
+                    let next = *(*seg).next.get_mut();
+                    drop(Box::from_raw(seg));
+                    seg = next;
+                }
+                head = head.wrapping_add(1 << SHIFT);
+            }
+            if !seg.is_null() {
+                drop(Box::from_raw(seg));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_single_thread() {
+        let q = Injector::new();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        for i in 0..100 {
+            q.push(i);
+        }
+        assert!(!q.is_empty());
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_fifo() {
+        let q = Injector::new();
+        let mut expect = 0;
+        for i in 0..10_000 {
+            q.push(i);
+            if i % 3 != 0 {
+                assert_eq!(q.pop(), Some(expect));
+                expect += 1;
+            }
+        }
+        while let Some(v) = q.pop() {
+            assert_eq!(v, expect);
+            expect += 1;
+        }
+        assert_eq!(expect, 10_000);
+    }
+
+    #[test]
+    fn crosses_many_segments() {
+        let q = Injector::new();
+        for round in 0..10 {
+            for i in 0..(LAP * 7 + 3) {
+                q.push((round, i));
+            }
+            for i in 0..(LAP * 7 + 3) {
+                assert_eq!(q.pop(), Some((round, i)));
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_queued_values() {
+        struct Counting(Arc<AtomicUsize>);
+        impl Drop for Counting {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let q = Injector::new();
+        for _ in 0..(LAP * 3 + 5) {
+            q.push(Counting(Arc::clone(&drops)));
+        }
+        drop(q.pop());
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        drop(q);
+        assert_eq!(drops.load(Ordering::SeqCst), LAP * 3 + 5);
+    }
+
+    #[test]
+    fn mpmc_consumes_each_value_once() {
+        const PRODUCERS: usize = 2;
+        const CONSUMERS: usize = 3;
+        const PER_PRODUCER: usize = 40_000;
+        let q = Arc::new(Injector::new());
+        let seen: Arc<Vec<AtomicUsize>> = Arc::new(
+            (0..PRODUCERS * PER_PRODUCER)
+                .map(|_| AtomicUsize::new(0))
+                .collect(),
+        );
+        let produced = Arc::new(AtomicUsize::new(0));
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let mut threads = Vec::new();
+        for p in 0..PRODUCERS {
+            let q = Arc::clone(&q);
+            let produced = Arc::clone(&produced);
+            threads.push(std::thread::spawn(move || {
+                for i in 0..PER_PRODUCER {
+                    q.push(p * PER_PRODUCER + i);
+                    produced.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for _ in 0..CONSUMERS {
+            let q = Arc::clone(&q);
+            let seen = Arc::clone(&seen);
+            let produced = Arc::clone(&produced);
+            let consumed = Arc::clone(&consumed);
+            threads.push(std::thread::spawn(move || loop {
+                match q.pop() {
+                    Some(v) => {
+                        seen[v].fetch_add(1, Ordering::SeqCst);
+                        consumed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    None => {
+                        if produced.load(Ordering::SeqCst) == PRODUCERS * PER_PRODUCER
+                            && consumed.load(Ordering::SeqCst) == PRODUCERS * PER_PRODUCER
+                        {
+                            return;
+                        }
+                        std::hint::spin_loop();
+                    }
+                }
+            }));
+        }
+        for th in threads {
+            th.join().unwrap();
+        }
+        for (i, s) in seen.iter().enumerate() {
+            assert_eq!(
+                s.load(Ordering::SeqCst),
+                1,
+                "value {i} consumed exactly once"
+            );
+        }
+    }
+
+    /// Per-producer FIFO order survives concurrency: each producer's
+    /// items are consumed in the order that producer pushed them.
+    #[test]
+    fn per_producer_order_is_preserved() {
+        const N: usize = 30_000;
+        let q = Arc::new(Injector::new());
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                for i in 0..N {
+                    q.push(i);
+                }
+            })
+        };
+        let mut last_seen: i64 = -1;
+        let mut got = 0;
+        while got < N {
+            if let Some(v) = q.pop() {
+                assert!(
+                    (v as i64) > last_seen,
+                    "FIFO violated: {v} after {last_seen}"
+                );
+                last_seen = v as i64;
+                got += 1;
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        producer.join().unwrap();
+    }
+}

@@ -20,20 +20,26 @@
 //! Back-ends are reduced to *policy*: when to run discovery, which core
 //! consumes which queue, and what time means (wall-clock vs simulated).
 
+mod deque;
 mod gate;
+mod injector;
 mod instance;
 mod node;
+mod park;
 mod persistent;
 mod probe;
 mod queue;
 mod ready;
 pub mod throttle;
 
+pub use deque::{Steal, WorkDeque};
 pub use gate::HoldGate;
+pub use injector::Injector;
 pub use instance::{GraphInstance, InstanceOptions};
 pub use node::{Completion, RtNode};
+pub use park::{ParkTicket, Parker};
 pub use persistent::{PersistentInstance, REINSTANCE_BATCH};
 pub use probe::{NullProbe, RtProbe, SpanCollector};
-pub use queue::{ReadyQueues, SchedPolicy, TaskKey};
+pub use queue::{QueueBackend, ReadyQueues, SchedPolicy, TaskKey};
 pub use ready::ReadyTracker;
 pub use throttle::{ThrottleConfig, ThrottleGate};

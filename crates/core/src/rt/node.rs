@@ -142,9 +142,10 @@ impl RtNode {
         self.links.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Current pending count (tests / diagnostics).
+    /// Current pending count (tests / diagnostics; Relaxed — a racy
+    /// snapshot is all this can ever be).
     pub fn pending(&self) -> u32 {
-        self.pending.load(Ordering::SeqCst)
+        self.pending.load(Ordering::Relaxed)
     }
 
     /// Set the persistent successor list (once, at template instancing).
@@ -165,10 +166,14 @@ impl RtNode {
     /// dependence counter (plus one *visibility token*, dropped by
     /// [`super::PersistentInstance::publish`]) and rewrite its firstprivate
     /// payload — the paper's "single memcpy" re-instance cost.
+    /// Relaxed stores: re-instancing runs strictly between iterations —
+    /// after the previous barrier's quiescence synchronization and before
+    /// the nodes are re-published through the ready queues, which is the
+    /// happens-before edge that carries these values to the workers.
     pub(crate) fn reset_for_iteration(&self, indegree: u32, iter: u64) {
         self.links().completed = false;
-        self.pending.store(indegree + 1, Ordering::SeqCst);
-        self.iter.store(iter, Ordering::SeqCst);
+        self.pending.store(indegree + 1, Ordering::Relaxed);
+        self.iter.store(iter, Ordering::Relaxed);
     }
 
     /// Attach an edge `self -> succ`, unless `self` already completed.
@@ -178,15 +183,26 @@ impl RtNode {
         if links.completed {
             return false; // pruned
         }
-        succ.pending.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: the producer holds the creation token, so this add can
+        // never race the counter to zero; `seal`'s AcqRel decrement is
+        // what orders readiness.
+        succ.pending.fetch_add(1, Ordering::Relaxed);
         links.succs.push(Arc::clone(succ));
         true
     }
 
     /// Drop the creation (or visibility) token; returns `true` if the node
     /// became ready.
+    ///
+    /// AcqRel — the kernel's pivotal ordering site. Release: everything
+    /// the caller did before (a predecessor's task-body writes, the
+    /// producer's node initialization) is published on `pending`.
+    /// Acquire + release sequences over the RMW chain: the decrementer
+    /// that hits zero synchronizes with *every* earlier decrementer, so
+    /// whoever enqueues (and eventually runs) this node sees the effects
+    /// of all its predecessors, not just the last one.
     pub fn seal(&self) -> bool {
-        self.pending.fetch_sub(1, Ordering::SeqCst) == 1
+        self.pending.fetch_sub(1, Ordering::AcqRel) == 1
     }
 
     /// Mark completed and release every successor — streaming edges

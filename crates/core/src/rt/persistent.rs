@@ -94,7 +94,8 @@ impl PersistentInstance {
             node.reset_for_iteration(self.template.indegree(node.id), iter);
         }
         tracker.created(self.nodes.len());
-        self.reuses.fetch_add(1, Ordering::SeqCst);
+        // Relaxed: statistic, read between iterations.
+        self.reuses.fetch_add(1, Ordering::Relaxed);
         if probe.lifecycle_enabled() {
             for node in &self.nodes {
                 probe.task_created(node.id, now_ns);
@@ -131,7 +132,7 @@ impl PersistentInstance {
 
     /// Number of iterations re-instanced through this template.
     pub fn reuses(&self) -> u64 {
-        self.reuses.load(Ordering::SeqCst)
+        self.reuses.load(Ordering::Relaxed)
     }
 }
 

@@ -21,56 +21,71 @@ impl ReadyTracker {
     }
 
     /// `n` tasks were created (discovery or re-instancing).
+    ///
+    /// Relaxed: the increment is published to eventual completers through
+    /// the ready-queue transfer of the tasks themselves, and counter
+    /// atomicity alone guarantees `live` cannot read 0 while any created
+    /// task has not completed — which is all `quiescent` relies on.
     pub fn created(&self, n: usize) {
-        self.created_total.fetch_add(n, Ordering::SeqCst);
-        let live = self.live.fetch_add(n, Ordering::SeqCst) + n;
-        self.live_hwm.fetch_max(live, Ordering::SeqCst);
+        self.created_total.fetch_add(n, Ordering::Relaxed);
+        let live = self.live.fetch_add(n, Ordering::Relaxed) + n;
+        self.live_hwm.fetch_max(live, Ordering::Relaxed);
     }
 
-    /// A task became ready.
+    /// A task became ready. (Relaxed: `ready` only steers throttling
+    /// heuristics and statistics, never a safety decision.)
     pub fn became_ready(&self) {
-        let ready = self.ready.fetch_add(1, Ordering::SeqCst) + 1;
-        self.ready_hwm.fetch_max(ready, Ordering::SeqCst);
+        let ready = self.ready.fetch_add(1, Ordering::Relaxed) + 1;
+        self.ready_hwm.fetch_max(ready, Ordering::Relaxed);
     }
 
     /// A ready task was handed to a core.
     pub fn scheduled(&self) {
-        self.ready.fetch_sub(1, Ordering::SeqCst);
+        self.ready.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// A task finished; returns `true` if it was the last live task.
+    ///
+    /// AcqRel: the Release half publishes this task's side effects on the
+    /// counter; because atomic RMWs extend release sequences, the thread
+    /// that observes `live == 0` with an Acquire load synchronizes with
+    /// *every* completing task, not just the final one — the guarantee
+    /// `wait_all`/`taskwait` callers need before reading task outputs.
+    /// The Acquire half orders successive completions among themselves.
     pub fn completed(&self) -> bool {
-        self.live.fetch_sub(1, Ordering::SeqCst) == 1
+        self.live.fetch_sub(1, Ordering::AcqRel) == 1
     }
 
-    /// Current live count.
+    /// Current live count. (Acquire: pairs with the Release decrements in
+    /// [`ReadyTracker::completed`]; see there.)
     pub fn live(&self) -> usize {
-        self.live.load(Ordering::SeqCst)
+        self.live.load(Ordering::Acquire)
     }
 
     /// Current ready count.
     pub fn ready(&self) -> usize {
-        self.ready.load(Ordering::SeqCst)
+        self.ready.load(Ordering::Relaxed)
     }
 
-    /// No live tasks remain.
+    /// No live tasks remain. Observing this synchronizes with every
+    /// completed task (see [`ReadyTracker::completed`]).
     pub fn quiescent(&self) -> bool {
         self.live() == 0
     }
 
     /// Tasks ever created through this tracker.
     pub fn created_total(&self) -> usize {
-        self.created_total.load(Ordering::SeqCst)
+        self.created_total.load(Ordering::Relaxed)
     }
 
     /// High-water mark of concurrently live tasks.
     pub fn live_hwm(&self) -> usize {
-        self.live_hwm.load(Ordering::SeqCst)
+        self.live_hwm.load(Ordering::Relaxed)
     }
 
     /// High-water mark of concurrently ready (queued) tasks.
     pub fn ready_hwm(&self) -> usize {
-        self.ready_hwm.load(Ordering::SeqCst)
+        self.ready_hwm.load(Ordering::Relaxed)
     }
 }
 

@@ -39,6 +39,8 @@ pub enum Backend {
 
 /// What [`run`] produced — the full back-end report, plus uniform
 /// accessors for what both sides measure.
+// One value per run; report sizes differ but neither is hot.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum RunOutcome {
     /// Thread back-end report.
