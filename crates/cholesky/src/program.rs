@@ -3,10 +3,9 @@
 use crate::config::CholeskyConfig;
 use crate::tiles::TileMatrix;
 use ptdg_core::access::AccessMode;
-use ptdg_core::builder::TaskSubmitter;
+use ptdg_core::builder::{SpecBuf, TaskSubmitter};
 use ptdg_core::handle::{DataHandle, HandleSpace};
-use ptdg_core::task::TaskSpec;
-use ptdg_core::workdesc::{CommOp, HandleSlice, WorkDesc};
+use ptdg_core::workdesc::{CommOp, HandleSlice};
 use ptdg_simrt::{Rank, RankProgram};
 
 /// The task-based factorization program (one dependency handle per tile).
@@ -79,24 +78,23 @@ impl RankProgram for CholeskyTask {
         let tile_bytes = (cfg.b * cfg.b * 8) as u64;
         let want = sub.wants_bodies() && self.matrix.is_some();
         let multi = cfg.n_ranks > 1;
+        // One recycled construction buffer for the whole factorization.
+        let mut buf = SpecBuf::new();
 
         // Re-initialize every local tile (WAR edges order these after the
         // previous factorization's consumers).
         for i in 0..nt {
             for j in 0..=i {
-                let mut spec =
-                    TaskSpec::new("ResetTile")
-                        .depend(self.h(i, j), Out)
-                        .work(WorkDesc {
-                            flops: b * b,
-                            footprint: vec![self.tile_fp(i, j)],
-                        });
+                buf.begin("ResetTile")
+                    .dep(self.h(i, j), Out)
+                    .flops(b * b)
+                    .touch(self.tile_fp(i, j));
                 if want {
                     let m = self.matrix.clone().unwrap();
                     let idx = i * (i + 1) / 2 + j;
-                    spec = spec.body(move |_| m.k_reset(idx));
+                    buf.body(move |_| m.k_reset(idx));
                 }
-                sub.submit(spec);
+                buf.submit(sub);
             }
         }
 
@@ -104,31 +102,28 @@ impl RankProgram for CholeskyTask {
             let panel_owner = cfg.owner(k);
             if panel_owner == rank {
                 // potrf
-                let mut spec = TaskSpec::new("potrf")
-                    .depend(self.h(k, k), InOut)
-                    .work(WorkDesc {
-                        flops: b * b * b / 3.0,
-                        footprint: vec![self.tile_fp(k, k)],
-                    });
+                buf.begin("potrf")
+                    .dep(self.h(k, k), InOut)
+                    .flops(b * b * b / 3.0)
+                    .touch(self.tile_fp(k, k));
                 if want {
                     let m = self.matrix.clone().unwrap();
-                    spec = spec.body(move |_| m.k_potrf(k));
+                    buf.body(move |_| m.k_potrf(k));
                 }
-                sub.submit(spec);
+                buf.submit(sub);
                 // trsm per sub-diagonal tile of the panel
                 for i in (k + 1)..nt {
-                    let mut spec = TaskSpec::new("trsm")
-                        .depend(self.h(k, k), In)
-                        .depend(self.h(i, k), InOut)
-                        .work(WorkDesc {
-                            flops: b * b * b,
-                            footprint: vec![self.tile_fp(k, k), self.tile_fp(i, k)],
-                        });
+                    buf.begin("trsm")
+                        .dep(self.h(k, k), In)
+                        .dep(self.h(i, k), InOut)
+                        .flops(b * b * b)
+                        .touch(self.tile_fp(k, k))
+                        .touch(self.tile_fp(i, k));
                     if want {
                         let m = self.matrix.clone().unwrap();
-                        spec = spec.body(move |_| m.k_trsm(i, k));
+                        buf.body(move |_| m.k_trsm(i, k));
                     }
-                    sub.submit(spec);
+                    buf.submit(sub);
                 }
                 // broadcast the panel to ranks holding trailing panels
                 if multi {
@@ -137,26 +132,28 @@ impl RankProgram for CholeskyTask {
                             if peer == rank || !self.has_trailing_panel(peer, k) {
                                 continue;
                             }
-                            sub.submit(TaskSpec::new("MPI_Isend").depend(self.h(i, k), In).comm(
-                                CommOp::Isend {
+                            buf.begin("MPI_Isend")
+                                .dep(self.h(i, k), In)
+                                .comm(CommOp::Isend {
                                     peer,
                                     bytes: tile_bytes,
                                     tag: (k * nt + i) as u32,
-                                },
-                            ));
+                                })
+                                .submit(sub);
                         }
                     }
                 }
             } else if multi && self.has_trailing_panel(rank, k) {
                 // receive the panel tiles into the local ghosts
                 for i in (k + 1)..nt {
-                    sub.submit(TaskSpec::new("MPI_Irecv").depend(self.h(i, k), Out).comm(
-                        CommOp::Irecv {
+                    buf.begin("MPI_Irecv")
+                        .dep(self.h(i, k), Out)
+                        .comm(CommOp::Irecv {
                             peer: panel_owner,
                             bytes: tile_bytes,
                             tag: (k * nt + i) as u32,
-                        },
-                    ));
+                        })
+                        .submit(sub);
                 }
             }
 
@@ -168,22 +165,22 @@ impl RankProgram for CholeskyTask {
                 for i in j..nt {
                     // syrk takes A(i,k) once; gemm takes both panel tiles.
                     let name = if i == j { "syrk" } else { "gemm" };
-                    let mut spec = TaskSpec::new(name).depend(self.h(i, k), In);
-                    let mut fp = vec![self.tile_fp(i, k), self.tile_fp(i, j)];
+                    buf.begin(name).dep(self.h(i, k), In);
                     if i != j {
-                        spec = spec.depend(self.h(j, k), In);
-                        fp.push(self.tile_fp(j, k));
+                        buf.dep(self.h(j, k), In);
                     }
-                    let spec_flops = if i == j { b * b * b } else { 2.0 * b * b * b };
-                    let mut spec = spec.depend(self.h(i, j), InOut).work(WorkDesc {
-                        flops: spec_flops,
-                        footprint: fp,
-                    });
+                    buf.dep(self.h(i, j), InOut)
+                        .flops(if i == j { b * b * b } else { 2.0 * b * b * b })
+                        .touch(self.tile_fp(i, k))
+                        .touch(self.tile_fp(i, j));
+                    if i != j {
+                        buf.touch(self.tile_fp(j, k));
+                    }
                     if want {
                         let m = self.matrix.clone().unwrap();
-                        spec = spec.body(move |_| m.k_update(i, j, k));
+                        buf.body(move |_| m.k_update(i, j, k));
                     }
-                    sub.submit(spec);
+                    buf.submit(sub);
                 }
             }
         }

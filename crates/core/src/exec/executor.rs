@@ -10,7 +10,7 @@ use super::session::Session;
 use crate::obs::{EventRecorder, ObsReport};
 use crate::opts::OptConfig;
 use crate::profile::{Span, SpanKind, Trace};
-use crate::rt::{HoldGate, Parker, ReadyQueues, ReadyTracker, RtNode, RtProbe};
+use crate::rt::{HoldGate, NodeRef, Parker, ReadyQueues, ReadyTracker, RtProbe};
 use crate::task::TaskCtx;
 use crate::throttle::{ThrottleConfig, ThrottleGate};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -47,10 +47,10 @@ impl Default for ExecConfig {
 }
 
 pub(crate) struct Pool {
-    pub queues: ReadyQueues<Arc<RtNode>>,
+    pub queues: ReadyQueues<NodeRef>,
     pub tracker: Arc<ReadyTracker>,
     /// Non-overlapped mode: buffer ready tasks until released.
-    pub gate: HoldGate<Arc<RtNode>>,
+    pub gate: HoldGate<NodeRef>,
     pub throttle: ThrottleGate,
     pub shutdown: AtomicBool,
     /// Eventcount all idle threads (workers and the waiting producer)
@@ -105,9 +105,9 @@ impl Pool {
     /// into one another is walked with an explicit worklist, so graphs
     /// with arbitrarily deep redirect chains cannot overflow the stack.
     /// The common case — one non-redirect node — allocates nothing.
-    pub fn make_ready(&self, node: Arc<RtNode>, local: Option<usize>) {
+    pub fn make_ready(&self, node: NodeRef, local: Option<usize>) {
         let mut next = Some(node);
-        let mut worklist: Vec<Arc<RtNode>> = Vec::new();
+        let mut worklist: Vec<NodeRef> = Vec::new();
         while let Some(node) = next.take().or_else(|| worklist.pop()) {
             if node.is_redirect {
                 let core = local.unwrap_or(self.n_workers);
@@ -139,7 +139,7 @@ impl Pool {
 
     /// Find a ready task from the perspective of worker `idx`
     /// (`None` = the producer).
-    pub fn find_task(&self, idx: Option<usize>) -> Option<Arc<RtNode>> {
+    pub fn find_task(&self, idx: Option<usize>) -> Option<NodeRef> {
         let found = self.queues.pop_with(idx, &*self.recorder, self.probe_now());
         if found.is_some() {
             self.tracker.scheduled();
@@ -149,7 +149,7 @@ impl Pool {
 
     /// Execute one task on behalf of `worker_idx` (the producer uses index
     /// `n_workers`); `local` is the deque for newly-ready successors.
-    pub fn run_task(&self, node: Arc<RtNode>, local: Option<usize>, worker_idx: usize) {
+    pub fn run_task(&self, node: NodeRef, local: Option<usize>, worker_idx: usize) {
         let ctx = TaskCtx {
             task: node.id,
             // Relaxed: `iter` is stamped before the node is published to a

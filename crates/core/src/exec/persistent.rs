@@ -4,7 +4,7 @@ use super::executor::Executor;
 use crate::builder::TaskSubmitter;
 use crate::graph::{DiscoveryStats, GraphTemplate};
 use crate::opts::OptConfig;
-use crate::rt::PersistentInstance;
+use crate::rt::{NodeRef, PersistentInstance};
 use crate::task::TaskId;
 use std::sync::Arc;
 
@@ -23,6 +23,9 @@ pub struct PersistentRegion<'e> {
     exec: &'e Executor,
     opts: OptConfig,
     instance: Option<PersistentInstance>,
+    /// Recycled publish buffer: reaches the template's root count once
+    /// and never regrows, so re-instanced iterations allocate nothing.
+    ready_buf: Vec<NodeRef>,
     first_stats: DiscoveryStats,
     iterations_run: u64,
 }
@@ -33,6 +36,7 @@ impl<'e> PersistentRegion<'e> {
             exec,
             opts,
             instance: None,
+            ready_buf: Vec::new(),
             first_stats: DiscoveryStats::default(),
             iterations_run: 0,
         }
@@ -74,15 +78,22 @@ impl<'e> PersistentRegion<'e> {
 
     /// Re-instance and execute one iteration from the template.
     fn run_instanced(&mut self, iter: u64) {
-        let pinst = self.instance.as_ref().unwrap();
-        let pool = Arc::clone(self.exec.pool());
+        let Self {
+            exec,
+            instance,
+            ready_buf,
+            ..
+        } = self;
+        let pinst = instance.as_ref().unwrap();
+        let pool = Arc::clone(exec.pool());
         // The producer's whole per-iteration discovery work: counter reset
         // plus the firstprivate "memcpy" (the iteration payload). The
         // thread back-end publishes the whole graph at once; only the
         // template's roots come back ready.
         let now = pool.now_ns();
         pinst.begin_iteration_with(iter, &pool.tracker, &*pool.recorder, now);
-        for node in pinst.publish_with(0..pinst.len(), &*pool.recorder, now) {
+        pinst.publish_into(0..pinst.len(), &*pool.recorder, now, ready_buf);
+        for node in ready_buf.drain(..) {
             pool.make_ready(node, None);
         }
         // Implicit end-of-iteration barrier (help, then park — never

@@ -5,8 +5,8 @@ use crate::builder::TaskSubmitter;
 use crate::graph::{DiscoveryEngine, DiscoveryStats, GraphTemplate};
 use crate::opts::OptConfig;
 use crate::profile::{Span, SpanKind};
-use crate::rt::{GraphInstance, InstanceOptions, RtProbe};
-use crate::task::{TaskId, TaskSpec};
+use crate::rt::{GraphInstance, InstanceOptions, NodeRef, RtProbe};
+use crate::task::{SpecView, TaskId, TaskSpec};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -18,10 +18,18 @@ use std::time::Instant;
 /// internally by a persistent region's first iteration. Discovery writes
 /// into a kernel [`GraphInstance`]; this type only routes the tasks the
 /// instance reports ready and decides when the producer helps execute.
+///
+/// [`Session::submit_view`] is the native, allocation-free submission
+/// path; [`Session::submit`] wraps an owned [`TaskSpec`] around it. After
+/// [`Session::reserve`], a steady-state submission performs zero heap
+/// allocations end to end (DESIGN.md §4.4).
 pub struct Session<'e> {
     exec: &'e Executor,
     engine: DiscoveryEngine,
     instance: GraphInstance,
+    /// Recycled drain buffer: refills from the instance each submission
+    /// and never regrows past its high-water mark.
+    ready_buf: Vec<NodeRef>,
     discovery_t0_ns: Option<u64>,
     discovery_t1_ns: u64,
     iter: u64,
@@ -52,20 +60,34 @@ impl<'e> Session<'e> {
             exec,
             engine: DiscoveryEngine::new(opts),
             instance,
+            ready_buf: Vec::new(),
             discovery_t0_ns: None,
             discovery_t1_ns: 0,
             iter: 0,
         }
     }
 
-    /// Submit one task; may execute tasks inline if throttling thresholds
-    /// are exceeded.
-    pub fn submit(&mut self, spec: TaskSpec) -> TaskId {
+    /// Pre-size every producer-side buffer for a stream of about `tasks`
+    /// tasks over `handles` distinct data handles, so steady-state
+    /// submissions allocate nothing: arena chunks, node table, engine
+    /// per-handle state, drain buffer, and — for non-overlapped sessions —
+    /// the hold gate.
+    pub fn reserve(&mut self, tasks: usize, handles: usize) {
+        self.instance.reserve(tasks);
+        self.engine.reserve(tasks, handles);
+        self.ready_buf.reserve(tasks.min(64));
+        self.exec.pool().gate.reserve(tasks);
+    }
+
+    /// Submit one task from a borrowed view — the allocation-free hot
+    /// path; may execute tasks inline if throttling thresholds are
+    /// exceeded.
+    pub fn submit_view(&mut self, view: &SpecView<'_>) -> TaskId {
         let pool = Arc::clone(self.exec.pool());
         let now = pool.now_ns();
         self.discovery_t0_ns.get_or_insert(now);
         self.instance.set_now_ns(now);
-        let id = self.engine.submit(&mut self.instance, &spec);
+        let id = self.engine.submit_view(&mut self.instance, view);
         self.discovery_t1_ns = pool.now_ns();
         if pool.profile {
             pool.recorder.span(Span {
@@ -77,7 +99,8 @@ impl<'e> Session<'e> {
                 iter: self.iter,
             });
         }
-        for node in self.instance.drain_ready() {
+        self.instance.drain_ready_into(&mut self.ready_buf);
+        for node in self.ready_buf.drain(..) {
             pool.make_ready(node, None);
         }
         if pool.throttle.should_help(&pool.tracker) {
@@ -93,6 +116,12 @@ impl<'e> Session<'e> {
                 .fetch_add(h0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
         id
+    }
+
+    /// Submit one owned task spec (convenience wrapper over
+    /// [`Session::submit_view`]).
+    pub fn submit(&mut self, spec: TaskSpec) -> TaskId {
+        self.submit_view(&spec.view())
     }
 
     /// Set the iteration number stamped on subsequently created tasks
@@ -146,6 +175,10 @@ impl<'e> Session<'e> {
 }
 
 impl TaskSubmitter for Session<'_> {
+    fn submit_view(&mut self, view: &SpecView<'_>) -> TaskId {
+        Session::submit_view(self, view)
+    }
+
     fn submit(&mut self, spec: TaskSpec) -> TaskId {
         Session::submit(self, spec)
     }

@@ -518,13 +518,15 @@ fn deep_redirect_chain_does_not_overflow_stack() {
     // make_ready walks redirect completions with an explicit worklist;
     // a chain this deep overflows the test thread's stack if anyone
     // reintroduces recursion there.
-    use crate::rt::RtNode;
+    use crate::rt::{NodeArena, RtNode};
     use crate::task::TaskId;
     const DEPTH: usize = 200_000;
     let e = exec(2);
     let pool = Arc::clone(e.pool());
+    let mut arena = NodeArena::new();
+    arena.reserve(DEPTH);
     let chain: Vec<_> = (0..DEPTH)
-        .map(|i| RtNode::redirect(TaskId(i as u32), 0))
+        .map(|i| arena.alloc(RtNode::redirect(TaskId(i as u32), 0)))
         .collect();
     for w in chain.windows(2) {
         assert!(w[0].attach_succ(&w[1]));
@@ -549,7 +551,7 @@ fn deep_redirect_chain_does_not_overflow_stack() {
     assert!(!tail.seal());
     pool.tracker.created(DEPTH + 1);
     assert!(chain[0].seal(), "head has only its token");
-    pool.make_ready(Arc::clone(&chain[0]), None);
+    pool.make_ready(chain[0].clone(), None);
     pool.barrier();
     assert_eq!(ran.load(Ordering::SeqCst), 1, "tail task ran exactly once");
 }

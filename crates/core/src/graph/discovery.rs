@@ -3,16 +3,25 @@
 use super::{DiscoveryStats, GraphSink};
 use crate::access::AccessMode;
 use crate::opts::OptConfig;
-use crate::task::{TaskId, TaskSpec};
+use crate::task::{SpecView, TaskId, TaskSpec};
+use crate::util::InlineVec;
 
 const NO_SUCC: u32 = u32::MAX;
+
+/// Inline capacity of the writer/group lists: a handle usually has one
+/// writer; `inoutset` groups beyond 4 members spill once and keep their
+/// capacity across [`DiscoveryEngine::reset_handle_state`].
+const WRITERS_INLINE: usize = 4;
+/// Inline capacity of the per-handle reader list: slice handles see a
+/// handful of readers between writes in the bundled apps.
+const READERS_INLINE: usize = 8;
 
 /// Dependence state of one data region during sequential discovery.
 #[derive(Clone, Debug, Default)]
 struct HandleState {
     /// The task(s) whose write this region last saw: a single writer for
     /// `out`/`inout`, or every member of the current `inoutset` group.
-    last_writers: Vec<TaskId>,
+    last_writers: InlineVec<TaskId, WRITERS_INLINE>,
     /// Whether `last_writers` is an `inoutset` group.
     writers_are_set: bool,
     /// Whether the group can still accept members (no other-mode access has
@@ -21,9 +30,9 @@ struct HandleState {
     /// Redirect node materialized for this group by optimization (c).
     redirect: Option<TaskId>,
     /// Predecessors each *new member* of the open group must depend on.
-    group_base: Vec<TaskId>,
+    group_base: InlineVec<TaskId, WRITERS_INLINE>,
     /// Readers since the last write.
-    readers: Vec<TaskId>,
+    readers: InlineVec<TaskId, READERS_INLINE>,
 }
 
 /// Sequential task-dependency-graph discovery.
@@ -43,6 +52,10 @@ pub struct DiscoveryEngine {
     last_succ: Vec<u32>,
     stats: DiscoveryStats,
     scratch_preds: Vec<TaskId>,
+    /// Scratch for redirect materialization: the group members being
+    /// funneled into the redirect node (recycled — never cloned from the
+    /// handle state).
+    scratch_members: Vec<TaskId>,
 }
 
 impl DiscoveryEngine {
@@ -54,12 +67,26 @@ impl DiscoveryEngine {
             last_succ: Vec::new(),
             stats: DiscoveryStats::default(),
             scratch_preds: Vec::new(),
+            scratch_members: Vec::new(),
         }
     }
 
     /// The optimization configuration in use.
     pub fn opts(&self) -> OptConfig {
         self.opts
+    }
+
+    /// Pre-size the engine's tables so discovering up to `nodes` more
+    /// nodes over up to `handles` registered regions allocates nothing
+    /// (the inline per-handle lists may still spill on first use; see
+    /// DESIGN.md §4.4 for the warm-up protocol).
+    pub fn reserve(&mut self, nodes: usize, handles: usize) {
+        self.last_succ.reserve(nodes);
+        if handles > self.handles.len() {
+            self.handles.resize_with(handles, HandleState::default);
+        }
+        self.scratch_preds.reserve(16);
+        self.scratch_members.reserve(16);
     }
 
     /// Counters so far.
@@ -144,13 +171,19 @@ impl DiscoveryEngine {
                 return;
             }
             // Materialize R: members -> R, successors will attach to R.
-            let members = st.last_writers.clone();
+            // The member list is staged through a recycled scratch buffer
+            // (a borrow-splitting move, not a clone: `edge` needs `&mut
+            // self` while the members live in `self.handles`).
+            let mut members = std::mem::take(&mut self.scratch_members);
+            members.clear();
+            members.extend_from_slice(&st.last_writers);
             let r = sink.add_redirect();
             self.stats.redirect_nodes += 1;
             self.note_node(r);
-            for m in members {
+            for &m in &members {
                 self.edge(sink, m, r);
             }
+            self.scratch_members = members;
             sink.seal(r);
             self.handles[hidx].redirect = Some(r);
             self.scratch_preds.push(r);
@@ -159,15 +192,26 @@ impl DiscoveryEngine {
         }
     }
 
+    /// Submit one task from an owned [`TaskSpec`] (convenience wrapper
+    /// over [`DiscoveryEngine::submit_view`]).
+    pub fn submit(&mut self, sink: &mut dyn GraphSink, spec: &TaskSpec) -> TaskId {
+        self.submit_view(sink, &spec.view())
+    }
+
     /// Submit one task: create its node, resolve its `depend` clause into
     /// edges, and seal it. Returns the new task's id.
-    pub fn submit(&mut self, sink: &mut dyn GraphSink, spec: &TaskSpec) -> TaskId {
-        let id = sink.add_task(spec);
+    ///
+    /// This is the allocation-free entry point: the view borrows its
+    /// depend list and footprint (typically from a recycled
+    /// [`crate::builder::SpecBuf`]), and the engine stages everything
+    /// through its own recycled scratch buffers.
+    pub fn submit_view(&mut self, sink: &mut dyn GraphSink, view: &SpecView<'_>) -> TaskId {
+        let id = sink.add_task(view);
         self.note_node(id);
         self.stats.tasks += 1;
-        self.stats.depend_items += spec.depends.len() as u64;
+        self.stats.depend_items += view.depends.len() as u64;
 
-        for d in &spec.depends {
+        for d in view.depends {
             let hidx = d.handle.index();
             self.handle_mut(hidx); // ensure exists
             match d.mode {
@@ -270,7 +314,7 @@ mod tests {
     }
 
     impl GraphSink for MemSink {
-        fn add_task(&mut self, _spec: &TaskSpec) -> TaskId {
+        fn add_task(&mut self, _spec: &SpecView<'_>) -> TaskId {
             let id = self.n_nodes;
             self.n_nodes += 1;
             TaskId(id)

@@ -1,7 +1,7 @@
 //! Task-dependency-graph discovery.
 //!
 //! Discovery is the sequential, producer-thread process that turns a stream
-//! of submitted [`TaskSpec`]s into graph nodes and precedence edges — the
+//! of submitted [`crate::TaskSpec`]s into graph nodes and precedence edges — the
 //! activity whose *speed* the paper identifies as the limiting factor of
 //! task-based applications. The logic is factored as:
 //!
@@ -37,7 +37,7 @@ mod template;
 pub use discovery::DiscoveryEngine;
 pub use template::{GraphTemplate, TemplateNode, TemplateRecorder};
 
-use crate::task::{TaskId, TaskSpec};
+use crate::task::{SpecView, TaskId};
 
 /// Where discovery writes nodes and edges.
 ///
@@ -47,8 +47,10 @@ use crate::task::{TaskId, TaskSpec};
 /// fast execution produces fewer edges (paper §2.3.3) — and where persistent
 /// capture must disable pruning to keep the graph reusable.
 pub trait GraphSink {
-    /// Materialize a task node. Edges follow, then [`GraphSink::seal`].
-    fn add_task(&mut self, spec: &TaskSpec) -> TaskId;
+    /// Materialize a task node from a borrowed view (the allocation-free
+    /// submission currency; sinks that must retain the data clone what
+    /// they need). Edges follow, then [`GraphSink::seal`].
+    fn add_task(&mut self, spec: &SpecView<'_>) -> TaskId;
 
     /// Materialize an empty redirect node (optimization (c)).
     fn add_redirect(&mut self) -> TaskId;

@@ -8,7 +8,7 @@
 //! edge insertion.
 
 use super::GraphSink;
-use crate::task::{TaskBody, TaskId, TaskSpec};
+use crate::task::{SpecView, TaskBody, TaskId};
 use crate::workdesc::{CommOp, WorkDesc};
 
 /// A captured task node.
@@ -63,17 +63,22 @@ impl TemplateRecorder {
 }
 
 impl GraphSink for TemplateRecorder {
-    fn add_task(&mut self, spec: &TaskSpec) -> TaskId {
+    fn add_task(&mut self, spec: &SpecView<'_>) -> TaskId {
         let id = self.nodes.len() as u32;
+        // Capture owns its data: clone out of the view (this allocation
+        // is capture-only — the streaming hot path never records).
         self.nodes.push(TemplateNode {
             name: spec.name,
             body: if self.want_bodies {
-                spec.body.clone()
+                spec.body.cloned()
             } else {
                 None
             },
             comm: spec.comm,
-            work: spec.work.clone(),
+            work: WorkDesc {
+                flops: spec.flops,
+                footprint: spec.footprint.to_vec(),
+            },
             fp_bytes: spec.fp_bytes,
             is_redirect: false,
         });
@@ -116,6 +121,12 @@ pub struct GraphTemplate {
     succs: Vec<u32>,
     indegree: Vec<u32>,
     n_edges: u64,
+    /// Application tasks (excluding redirects) — cached at build time;
+    /// counters and cost models query it per iteration.
+    n_tasks: usize,
+    /// Zero-indegree nodes, precomputed at build time: `roots()` is
+    /// consulted every persistent iteration and must not rescan.
+    roots: Vec<u32>,
 }
 
 impl GraphTemplate {
@@ -136,12 +147,18 @@ impl GraphTemplate {
             succs[cursor[p as usize] as usize] = s;
             cursor[p as usize] += 1;
         }
+        let n_tasks = nodes.iter().filter(|n| !n.is_redirect).count();
+        let roots = (0..n as u32)
+            .filter(|&i| indegree[i as usize] == 0)
+            .collect();
         GraphTemplate {
             nodes,
             succ_off,
             succs,
             indegree,
             n_edges: edges.len() as u64,
+            n_tasks,
+            roots,
         }
     }
 
@@ -150,9 +167,9 @@ impl GraphTemplate {
         self.nodes.len()
     }
 
-    /// Number of application tasks (excluding redirects).
+    /// Number of application tasks (excluding redirects; cached — O(1)).
     pub fn n_tasks(&self) -> usize {
-        self.nodes.iter().filter(|n| !n.is_redirect).count()
+        self.n_tasks
     }
 
     /// Number of edges.
@@ -182,9 +199,16 @@ impl GraphTemplate {
         self.indegree[id.index()]
     }
 
-    /// Nodes with no predecessors — ready at the start of each iteration.
+    /// The dense in-degree array, indexed by node id — the source the
+    /// persistent bulk re-arm sweeps (DESIGN.md §4.4).
+    pub fn indegrees(&self) -> &[u32] {
+        &self.indegree
+    }
+
+    /// Nodes with no predecessors — ready at the start of each iteration
+    /// (precomputed at build time).
     pub fn roots(&self) -> impl Iterator<Item = TaskId> + '_ {
-        self.ids().filter(|&id| self.indegree(id) == 0)
+        self.roots.iter().map(|&i| TaskId(i))
     }
 
     /// Total firstprivate bytes: what one persistent re-instance memcpys.
@@ -252,6 +276,7 @@ mod tests {
     use crate::graph::DiscoveryEngine;
     use crate::handle::HandleSpace;
     use crate::opts::OptConfig;
+    use crate::task::TaskSpec;
 
     fn diamond() -> GraphTemplate {
         // w -> (r1, r2) -> w2
@@ -315,8 +340,8 @@ mod tests {
     fn recorder_never_prunes() {
         use crate::graph::GraphSink;
         let mut rec = TemplateRecorder::new(false);
-        let a = rec.add_task(&TaskSpec::new("a"));
-        let b = rec.add_task(&TaskSpec::new("b"));
+        let a = rec.add_task(&TaskSpec::new("a").view());
+        let b = rec.add_task(&TaskSpec::new("b").view());
         assert!(rec.add_edge(a, b));
         let t = rec.finish();
         assert_eq!(t.n_edges(), 1);
@@ -378,8 +403,8 @@ mod tests {
     fn firstprivate_bytes_sum() {
         let mut rec = TemplateRecorder::new(false);
         use crate::graph::GraphSink;
-        rec.add_task(&TaskSpec::new("a").firstprivate_bytes(8));
-        rec.add_task(&TaskSpec::new("b").firstprivate_bytes(100));
+        rec.add_task(&TaskSpec::new("a").firstprivate_bytes(8).view());
+        rec.add_task(&TaskSpec::new("b").firstprivate_bytes(100).view());
         rec.add_redirect();
         let t = rec.finish();
         assert_eq!(t.firstprivate_bytes(), 108);
@@ -390,13 +415,13 @@ mod tests {
         use crate::graph::GraphSink;
         let mut rec = TemplateRecorder::new(false);
         assert!(!rec.wants_bodies());
-        rec.add_task(&TaskSpec::new("a").body(|_| {}));
+        rec.add_task(&TaskSpec::new("a").body(|_| {}).view());
         let t = rec.finish();
         assert!(t.node(TaskId(0)).body.is_none());
 
         let mut rec = TemplateRecorder::new(true);
         assert!(rec.wants_bodies());
-        rec.add_task(&TaskSpec::new("a").body(|_| {}));
+        rec.add_task(&TaskSpec::new("a").body(|_| {}).view());
         let t = rec.finish();
         assert!(t.node(TaskId(0)).body.is_some());
     }

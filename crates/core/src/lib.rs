@@ -89,25 +89,26 @@ pub mod profile;
 pub mod program;
 pub mod rt;
 pub mod task;
+pub mod util;
 pub mod workdesc;
 
 // Throttling moved into the runtime kernel; keep the historical path.
 pub use rt::throttle;
 
 pub use access::{AccessMode, Depend};
-pub use builder::{IterationBuilder, TaskSubmitter};
+pub use builder::{IterationBuilder, SpecBuf, TaskSubmitter};
 pub use exec::{ExecConfig, Executor, SchedPolicy, Session};
 pub use handle::{DataHandle, HandleSpace};
 pub use opts::OptConfig;
 pub use program::{Rank, RankProgram};
 pub use rt::{ThrottleConfig, ThrottleGate};
-pub use task::{TaskBody, TaskCtx, TaskId, TaskSpec};
+pub use task::{SpecView, TaskBody, TaskCtx, TaskId, TaskSpec};
 pub use workdesc::{CommOp, HandleSlice, WorkDesc};
 
 /// Convenience re-exports for application code.
 pub mod prelude {
     pub use crate::access::{AccessMode, Depend};
-    pub use crate::builder::{IterationBuilder, TaskSubmitter};
+    pub use crate::builder::{IterationBuilder, SpecBuf, TaskSubmitter};
     pub use crate::data::SharedVec;
     pub use crate::exec::{ExecConfig, Executor, SchedPolicy, Session};
     pub use crate::graph::{DiscoveryEngine, DiscoveryStats, GraphTemplate};

@@ -44,6 +44,12 @@ impl<T> HoldGate<T> {
         self.closed.store(true, Ordering::Relaxed);
     }
 
+    /// Pre-size the held buffer for `extra` more items, so a closed-gate
+    /// submission burst of that size holds items without reallocating.
+    pub fn reserve(&self, extra: usize) {
+        self.held().reserve(extra);
+    }
+
     /// Offer an item: returns it back if the gate is open, or holds it and
     /// returns `None`. The closed flag is re-checked under the lock so an
     /// item can never be stranded behind a concurrent `release`.

@@ -21,6 +21,18 @@ use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::ptr;
 use std::sync::atomic::{fence, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Retired segments kept for reuse instead of being freed. A steady-state
+/// stream churns through segments at one per [`SEG_CAP`] elements; the
+/// pool turns that churn into reuse, making long pushes/pops
+/// allocation-free once warm (DESIGN.md §4.4). Small on purpose: the
+/// queue depth bound of a task runtime is the ready high-water mark, and
+/// anything beyond a few segments of slack should be returned to the
+/// allocator.
+const SPARE_CAP: usize = 4;
+
+type SparePool<T> = Mutex<Vec<*mut Segment<T>>>;
 
 /// Slots per segment. One slot per segment is sacrificed as the
 /// "install next segment" marker, so 31 values fit in each.
@@ -89,10 +101,12 @@ impl<T> Segment<T> {
         }
     }
 
-    /// Mark slots `start..` for tear-down; the segment is freed by
+    /// Mark slots `start..` for tear-down; the segment is retired by
     /// whichever thread — this one or a still-reading consumer — touches
     /// the last live slot. `start` skips slots the caller already owns.
-    unsafe fn destroy(this: *mut Segment<T>, start: usize) {
+    /// The fully-drained segment goes to `spares` for reuse (freed only
+    /// when the pool is full).
+    unsafe fn destroy(this: *mut Segment<T>, start: usize, spares: &SparePool<T>) {
         // The last slot needs no DESTROY bit: its consumer initiated the
         // tear-down.
         for i in start..SEG_CAP - 1 {
@@ -105,7 +119,25 @@ impl<T> Segment<T> {
                 return;
             }
         }
-        drop(Box::from_raw(this));
+        // Sole owner now. The pool mutex is the happens-before edge to
+        // whichever producer later takes the segment out and resets it.
+        let mut pool = spares.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.len() < SPARE_CAP {
+            pool.push(this);
+        } else {
+            drop(pool);
+            drop(Box::from_raw(this));
+        }
+    }
+
+    /// Return a retired segment to pristine state. `&mut` proves
+    /// exclusive ownership, so plain stores suffice; the pool mutex
+    /// already ordered us after the retiring consumer.
+    fn reset(&mut self) {
+        *self.next.get_mut() = ptr::null_mut();
+        for slot in &mut self.slots {
+            *slot.state.get_mut() = 0;
+        }
     }
 }
 
@@ -121,6 +153,8 @@ struct Position<T> {
 pub struct Injector<T> {
     head: Position<T>,
     tail: Position<T>,
+    /// Retired segments waiting for reuse (see [`SPARE_CAP`]).
+    spares: SparePool<T>,
 }
 
 // SAFETY: values are handed across threads exactly once; `&T` is never
@@ -139,6 +173,21 @@ impl<T> Injector<T> {
                 index: AtomicUsize::new(0),
                 seg: AtomicPtr::new(ptr::null_mut()),
             },
+            spares: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A fresh segment, reusing a retired one when the pool has any.
+    fn new_segment(&self) -> Box<Segment<T>> {
+        let spare = self.spares.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match spare {
+            // SAFETY: segments in the pool are exclusively owned by it.
+            Some(ptr) => {
+                let mut seg = unsafe { Box::from_raw(ptr) };
+                seg.reset();
+                seg
+            }
+            None => Segment::new(),
         }
     }
 
@@ -160,11 +209,11 @@ impl<T> Injector<T> {
             // About to fill the last slot: pre-allocate the successor so
             // the post-CAS install is allocation-free.
             if offset + 1 == SEG_CAP && next_seg.is_none() {
-                next_seg = Some(Segment::new());
+                next_seg = Some(self.new_segment());
             }
             if seg.is_null() {
                 // Very first push: race to install the initial segment.
-                let new = Box::into_raw(next_seg.take().unwrap_or_else(Segment::new));
+                let new = Box::into_raw(next_seg.take().unwrap_or_else(|| self.new_segment()));
                 match self.tail.seg.compare_exchange(
                     ptr::null_mut(),
                     new,
@@ -280,10 +329,10 @@ impl<T> Injector<T> {
                     let value = (*slot.value.get()).assume_init_read();
                     if offset + 1 == SEG_CAP {
                         // Last slot out: start the tear-down from slot 0.
-                        Segment::destroy(seg, 0);
+                        Segment::destroy(seg, 0, &self.spares);
                     } else if slot.state.fetch_or(READ, Ordering::AcqRel) & DESTROY != 0 {
                         // Tear-down already passed us; continue it.
-                        Segment::destroy(seg, offset + 1);
+                        Segment::destroy(seg, offset + 1, &self.spares);
                     }
                     return Some(value);
                 },
@@ -293,6 +342,12 @@ impl<T> Injector<T> {
                 }
             }
         }
+    }
+
+    /// Retired segments currently pooled (test/diagnostic aid).
+    #[cfg(test)]
+    fn spare_count(&self) -> usize {
+        self.spares.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
     /// Whether the queue was observed empty (racy under concurrency).
@@ -331,6 +386,9 @@ impl<T> Drop for Injector<T> {
             }
             if !seg.is_null() {
                 drop(Box::from_raw(seg));
+            }
+            for spare in self.spares.get_mut().unwrap_or_else(|e| e.into_inner()) {
+                drop(Box::from_raw(*spare));
             }
         }
     }
@@ -407,6 +465,33 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 1);
         drop(q);
         assert_eq!(drops.load(Ordering::SeqCst), LAP * 3 + 5);
+    }
+
+    #[test]
+    fn retired_segments_are_pooled_and_reused() {
+        let q = Injector::new();
+        // Drain several laps: each fully-consumed segment retires to the
+        // pool instead of being freed, up to SPARE_CAP.
+        for i in 0..LAP * (SPARE_CAP + 3) {
+            q.push(i);
+        }
+        for i in 0..LAP * (SPARE_CAP + 3) {
+            assert_eq!(q.pop(), Some(i));
+        }
+        let pooled = q.spare_count();
+        assert!(pooled >= 1, "drained segments retire to the pool");
+        assert!(pooled <= SPARE_CAP, "pool is bounded");
+        // Steady-state churn: reuse keeps the pool level (no growth, and
+        // values still flow FIFO through recycled segments).
+        for round in 0..5 {
+            for i in 0..LAP * 2 {
+                q.push(round * 1000 + i);
+            }
+            for i in 0..LAP * 2 {
+                assert_eq!(q.pop(), Some(round * 1000 + i));
+            }
+        }
+        assert!(q.spare_count() <= SPARE_CAP);
     }
 
     #[test]

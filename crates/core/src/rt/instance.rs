@@ -7,11 +7,17 @@
 //! into a [`TemplateRecorder`]. Back-ends never materialize nodes or
 //! edges themselves; they only *route* the ready tasks this instance
 //! hands them.
+//!
+//! Nodes come from the instance's [`NodeArena`]: after a
+//! [`GraphInstance::reserve`] (or once chunk allocation has warmed up),
+//! submitting a task performs **zero** heap allocations — the zero-alloc
+//! invariant of DESIGN.md §4.4.
 
+use super::arena::{NodeArena, NodeRef};
 use super::probe::{NullProbe, RtProbe};
 use super::{ReadyTracker, RtNode};
 use crate::graph::{GraphSink, GraphTemplate, TemplateRecorder};
-use crate::task::{TaskId, TaskSpec};
+use crate::task::{SpecView, TaskId};
 use std::sync::Arc;
 
 /// Options for a [`GraphInstance`].
@@ -42,8 +48,9 @@ impl Default for InstanceOptions {
 
 /// The streaming node table one discovery stream writes into.
 pub struct GraphInstance {
-    nodes: Vec<Arc<RtNode>>,
-    newly_ready: Vec<Arc<RtNode>>,
+    arena: NodeArena,
+    nodes: Vec<NodeRef>,
+    newly_ready: Vec<NodeRef>,
     tracker: Arc<ReadyTracker>,
     capture: Option<TemplateRecorder>,
     opts: InstanceOptions,
@@ -59,6 +66,7 @@ impl GraphInstance {
     /// A fresh instance accounting into `tracker`.
     pub fn new(tracker: Arc<ReadyTracker>, opts: InstanceOptions) -> Self {
         GraphInstance {
+            arena: NodeArena::new(),
             nodes: Vec::new(),
             newly_ready: Vec::new(),
             tracker,
@@ -70,6 +78,15 @@ impl GraphInstance {
             probe: Arc::new(NullProbe),
             now_ns: 0,
         }
+    }
+
+    /// Pre-size the node table, the arena, and the ready buffer for
+    /// `extra` more tasks, so the next `extra` submissions allocate
+    /// nothing.
+    pub fn reserve(&mut self, extra: usize) {
+        self.arena.reserve(extra);
+        self.nodes.reserve(extra);
+        self.newly_ready.reserve(extra);
     }
 
     /// Iteration stamped onto subsequently created nodes.
@@ -89,7 +106,7 @@ impl GraphInstance {
     }
 
     /// The node for `id`.
-    pub fn node(&self, id: TaskId) -> &Arc<RtNode> {
+    pub fn node(&self, id: TaskId) -> &NodeRef {
         &self.nodes[id.index()]
     }
 
@@ -105,8 +122,16 @@ impl GraphInstance {
     /// Tasks that became ready since the last drain, in seal order. The
     /// back-end routes them (hold gate, queues) — the instance only
     /// detects readiness.
-    pub fn drain_ready(&mut self) -> Vec<Arc<RtNode>> {
+    pub fn drain_ready(&mut self) -> Vec<NodeRef> {
         std::mem::take(&mut self.newly_ready)
+    }
+
+    /// [`GraphInstance::drain_ready`] into a caller-recycled buffer: the
+    /// instance's internal ready list keeps its capacity and `out` grows
+    /// at most to the high-water mark — after warm-up, no allocation on
+    /// either side.
+    pub fn drain_ready_into(&mut self, out: &mut Vec<NodeRef>) {
+        out.append(&mut self.newly_ready);
     }
 
     /// Finish a capture, yielding the persistent template. Panics if the
@@ -120,18 +145,19 @@ impl GraphInstance {
 }
 
 impl GraphSink for GraphInstance {
-    fn add_task(&mut self, spec: &TaskSpec) -> TaskId {
+    fn add_task(&mut self, view: &SpecView<'_>) -> TaskId {
         let id = TaskId(self.nodes.len() as u32);
         self.tracker.created(1);
-        self.nodes.push(RtNode::from_spec(
+        let node = RtNode::from_view(
             id,
-            spec,
+            view,
             self.iter,
             self.opts.want_bodies,
             self.opts.keep_work,
-        ));
+        );
+        self.nodes.push(self.arena.alloc(node));
         if let Some(cap) = &mut self.capture {
-            let mirror = cap.add_task(spec);
+            let mirror = cap.add_task(view);
             debug_assert_eq!(mirror, id, "capture mirrors node ids");
         }
         if self.probe.lifecycle_enabled() {
@@ -143,7 +169,8 @@ impl GraphSink for GraphInstance {
     fn add_redirect(&mut self) -> TaskId {
         let id = TaskId(self.nodes.len() as u32);
         self.tracker.created(1);
-        self.nodes.push(RtNode::redirect(id, self.iter));
+        self.nodes
+            .push(self.arena.alloc(RtNode::redirect(id, self.iter)));
         if let Some(cap) = &mut self.capture {
             let mirror = cap.add_redirect();
             debug_assert_eq!(mirror, id, "capture mirrors node ids");
@@ -171,7 +198,7 @@ impl GraphSink for GraphInstance {
             if self.probe.lifecycle_enabled() {
                 self.probe.task_ready(node.id, self.now_ns);
             }
-            self.newly_ready.push(Arc::clone(node));
+            self.newly_ready.push(node.clone());
         }
     }
 
@@ -185,6 +212,7 @@ mod tests {
     use super::*;
     use crate::graph::DiscoveryEngine;
     use crate::opts::OptConfig;
+    use crate::task::TaskSpec;
     use crate::{AccessMode, HandleSpace};
 
     fn chain_specs(space: &mut HandleSpace) -> Vec<TaskSpec> {
@@ -215,6 +243,29 @@ mod tests {
     }
 
     #[test]
+    fn drain_ready_into_recycles_buffers() {
+        let mut space = HandleSpace::new();
+        let tracker = Arc::new(ReadyTracker::new());
+        let mut inst = GraphInstance::new(tracker, InstanceOptions::default());
+        let mut engine = DiscoveryEngine::new(OptConfig::all());
+        let mut buf = Vec::new();
+        for spec in chain_specs(&mut space) {
+            engine.submit(&mut inst, &spec);
+            inst.drain_ready_into(&mut buf);
+        }
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf[0].name, "w");
+        buf.clear();
+        let cap = buf.capacity();
+        // subsequent drains refill within the retained capacity
+        let y = space.region("y", 64);
+        engine.submit(&mut inst, &TaskSpec::new("w2").depend(y, AccessMode::Out));
+        inst.drain_ready_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.capacity(), cap);
+    }
+
+    #[test]
     fn capture_mirrors_the_stream() {
         let mut space = HandleSpace::new();
         let tracker = Arc::new(ReadyTracker::new());
@@ -232,5 +283,18 @@ mod tests {
         let tmpl = inst.finish_capture();
         assert_eq!(tmpl.n_tasks(), 3);
         assert_eq!(tmpl.n_edges(), 2);
+    }
+
+    #[test]
+    fn reserve_is_accepted_before_any_submission() {
+        let tracker = Arc::new(ReadyTracker::new());
+        let mut inst = GraphInstance::new(tracker, InstanceOptions::default());
+        inst.reserve(100);
+        let mut space = HandleSpace::new();
+        let mut engine = DiscoveryEngine::new(OptConfig::all());
+        for spec in chain_specs(&mut space) {
+            engine.submit(&mut inst, &spec);
+        }
+        assert_eq!(inst.len(), 3);
     }
 }

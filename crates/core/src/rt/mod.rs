@@ -20,6 +20,7 @@
 //! Back-ends are reduced to *policy*: when to run discovery, which core
 //! consumes which queue, and what time means (wall-clock vs simulated).
 
+mod arena;
 mod deque;
 mod gate;
 mod injector;
@@ -32,6 +33,7 @@ mod queue;
 mod ready;
 pub mod throttle;
 
+pub use arena::{NodeArena, NodeRef};
 pub use deque::{Steal, WorkDeque};
 pub use gate::HoldGate;
 pub use injector::Injector;

@@ -6,12 +6,31 @@
 //! decrement-on-complete transition — the heart of dependent-task
 //! readiness — lives *only* here; back-ends never touch in-degree
 //! counters themselves.
+//!
+//! Nodes live in a [`super::NodeArena`] and are shared as [`NodeRef`]s —
+//! pooled references whose clone/drop never touch the allocator. The
+//! per-node successor list is an [`InlineVec`]: typical stencil fan-outs
+//! ([`SUCC_INLINE`] successors or fewer) stay inline in the node; larger
+//! fan-outs spill once and keep their capacity across completions.
 
+use super::arena::{NodeArena, NodeRef};
 use super::probe::RtProbe;
-use crate::task::{TaskBody, TaskId, TaskSpec};
+use crate::task::{SpecView, TaskBody, TaskId};
+use crate::util::InlineVec;
 use crate::workdesc::{CommOp, WorkDesc};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Successors kept inline in the node before spilling to the heap.
+///
+/// Sized for the bundled apps: a LULESH/HPCG slice writer feeds its own
+/// and adjacent slices' consumers (≤ 3–6 edges after dedup), and a
+/// Cholesky tile writer feeds the panel below it; redirect nodes absorb
+/// the wide `inoutset` fan-outs. 8 keeps those inline with slack.
+pub const SUCC_INLINE: usize = 8;
+
+/// Ready-list entries kept inline in a [`Completion`].
+pub const READY_INLINE: usize = 8;
 
 /// Mutable graph-side state of a node, guarded by one small lock.
 ///
@@ -21,7 +40,7 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 #[derive(Default)]
 struct NodeLinks {
     /// Streaming successors to release on completion (taken exactly once).
-    succs: Vec<Arc<RtNode>>,
+    succs: InlineVec<NodeRef, SUCC_INLINE>,
     /// Whether the task has completed (this iteration).
     completed: bool,
 }
@@ -30,7 +49,7 @@ struct NodeLinks {
 #[derive(Default)]
 pub struct Completion {
     /// Successors that became ready (their last predecessor was this node).
-    pub ready: Vec<Arc<RtNode>>,
+    pub ready: InlineVec<NodeRef, READY_INLINE>,
     /// Total successor releases performed (streaming + persistent) — the
     /// quantity cost models charge per completion.
     pub released: usize,
@@ -64,36 +83,54 @@ pub struct RtNode {
     /// Successor list of an instanced persistent node. Set once when the
     /// captured template is instanced; unlike streaming edges these
     /// survive completion, so re-instancing allocates nothing.
-    persistent_succs: OnceLock<Vec<Arc<RtNode>>>,
+    persistent_succs: OnceLock<Vec<NodeRef>>,
 }
 
 impl RtNode {
-    /// A new application-task node holding its creation token.
-    pub fn from_spec(
+    /// A new application-task node value holding its creation token;
+    /// the caller moves it into an arena.
+    pub fn from_view(
         id: TaskId,
-        spec: &TaskSpec,
+        view: &SpecView<'_>,
         iter: u64,
         want_bodies: bool,
         keep_work: bool,
-    ) -> Arc<RtNode> {
-        Arc::new(RtNode {
+    ) -> RtNode {
+        RtNode {
             id,
-            name: spec.name,
-            body: if want_bodies { spec.body.clone() } else { None },
-            comm: spec.comm,
-            work: keep_work.then(|| spec.work.clone()),
-            fp_bytes: spec.fp_bytes,
+            name: view.name,
+            body: if want_bodies {
+                view.body.cloned()
+            } else {
+                None
+            },
+            comm: view.comm,
+            work: keep_work.then(|| WorkDesc {
+                flops: view.flops,
+                footprint: view.footprint.to_vec(),
+            }),
+            fp_bytes: view.fp_bytes,
             is_redirect: false,
             pending: AtomicU32::new(1), // creation token
             links: Mutex::new(NodeLinks::default()),
             iter: AtomicU64::new(iter),
             persistent_succs: OnceLock::new(),
-        })
+        }
     }
 
-    /// A bare node (redirects, tests, persistent instancing).
-    pub fn bare(id: TaskId, name: &'static str, body: Option<TaskBody>, iter: u64) -> Arc<RtNode> {
-        Arc::new(RtNode {
+    /// A bare node backed by its own one-slot arena (redirect-free tests
+    /// and standalone uses; graph instances allocate through their arena).
+    pub fn bare(id: TaskId, name: &'static str, body: Option<TaskBody>, iter: u64) -> NodeRef {
+        NodeArena::singleton(RtNode::bare_value_named(id, name, body, iter))
+    }
+
+    fn bare_value_named(
+        id: TaskId,
+        name: &'static str,
+        body: Option<TaskBody>,
+        iter: u64,
+    ) -> RtNode {
+        RtNode {
             id,
             name,
             body,
@@ -105,16 +142,33 @@ impl RtNode {
             links: Mutex::new(NodeLinks::default()),
             iter: AtomicU64::new(iter),
             persistent_succs: OnceLock::new(),
-        })
+        }
     }
 
-    /// A node instanced from a captured template node (persistent graphs).
+    /// A bare node *value* (arena tests fill blocks with these directly).
+    #[cfg(test)]
+    pub(crate) fn bare_value(id: TaskId, iter: u64) -> RtNode {
+        RtNode::bare_value_named(id, "t", None, iter)
+    }
+
+    /// Attach a body (arena drop-count tests).
+    #[cfg(test)]
+    pub(crate) fn with_test_body<F: Fn(&crate::task::TaskCtx) + Send + Sync + 'static>(
+        mut self,
+        f: F,
+    ) -> RtNode {
+        self.body = Some(std::sync::Arc::new(f));
+        self
+    }
+
+    /// A node value instanced from a captured template node (persistent
+    /// graphs).
     pub(crate) fn from_template(
         id: TaskId,
         tn: &crate::graph::TemplateNode,
         keep_work: bool,
-    ) -> Arc<RtNode> {
-        Arc::new(RtNode {
+    ) -> RtNode {
+        RtNode {
             id,
             name: tn.name,
             body: tn.body.clone(),
@@ -126,13 +180,13 @@ impl RtNode {
             links: Mutex::new(NodeLinks::default()),
             iter: AtomicU64::new(0),
             persistent_succs: OnceLock::new(),
-        })
+        }
     }
 
-    /// An empty redirect node (optimization (c)).
-    pub fn redirect(id: TaskId, iter: u64) -> Arc<RtNode> {
-        let mut n = RtNode::bare(id, "<redirect>", None, iter);
-        Arc::get_mut(&mut n).expect("fresh node").is_redirect = true;
+    /// An empty redirect node value (optimization (c)).
+    pub fn redirect(id: TaskId, iter: u64) -> RtNode {
+        let mut n = RtNode::bare_value_named(id, "<redirect>", None, iter);
+        n.is_redirect = true;
         n
     }
 
@@ -149,11 +203,11 @@ impl RtNode {
     }
 
     /// Set the persistent successor list (once, at template instancing).
-    pub(crate) fn set_persistent_succs(&self, succs: Vec<Arc<RtNode>>) {
-        self.persistent_succs
-            .set(succs)
-            .ok()
-            .expect("persistent successors are instanced once");
+    pub(crate) fn set_persistent_succs(&self, succs: Vec<NodeRef>) {
+        assert!(
+            self.persistent_succs.set(succs).is_ok(),
+            "persistent successors are instanced once"
+        );
     }
 
     /// Count of successors a completion would release right now.
@@ -164,21 +218,31 @@ impl RtNode {
 
     /// Reset an instanced persistent node for a new iteration: restore its
     /// dependence counter (plus one *visibility token*, dropped by
-    /// [`super::PersistentInstance::publish`]) and rewrite its firstprivate
-    /// payload — the paper's "single memcpy" re-instance cost.
+    /// [`super::PersistentInstance::publish`]).
+    ///
+    /// This is valid **only** for instanced persistent nodes: their
+    /// successor edges live in `persistent_succs` (never in `links.succs`),
+    /// and `attach_succ` is never called on them, so the `completed` flag —
+    /// which exists solely to define streaming-edge pruning — is dead state
+    /// and need not be cleared. Skipping the links lock turns the
+    /// per-iteration re-arm into two plain stores per node, which is what
+    /// lets `begin_iteration` be a single dense sweep (DESIGN.md §4.4).
     /// Relaxed stores: re-instancing runs strictly between iterations —
     /// after the previous barrier's quiescence synchronization and before
     /// the nodes are re-published through the ready queues, which is the
     /// happens-before edge that carries these values to the workers.
-    pub(crate) fn reset_for_iteration(&self, indegree: u32, iter: u64) {
-        self.links().completed = false;
+    pub(crate) fn rearm_persistent(&self, indegree: u32, iter: u64) {
+        debug_assert!(
+            self.persistent_succs.get().is_some() || self.links().succs.is_empty(),
+            "fast re-arm is reserved for instanced persistent nodes"
+        );
         self.pending.store(indegree + 1, Ordering::Relaxed);
         self.iter.store(iter, Ordering::Relaxed);
     }
 
     /// Attach an edge `self -> succ`, unless `self` already completed.
     /// Returns whether the edge was created.
-    pub fn attach_succ(self: &Arc<RtNode>, succ: &Arc<RtNode>) -> bool {
+    pub fn attach_succ(&self, succ: &NodeRef) -> bool {
         let mut links = self.links();
         if links.completed {
             return false; // pruned
@@ -187,7 +251,7 @@ impl RtNode {
         // never race the counter to zero; `seal`'s AcqRel decrement is
         // what orders readiness.
         succ.pending.fetch_add(1, Ordering::Relaxed);
-        links.succs.push(Arc::clone(succ));
+        links.succs.push(succ.clone());
         true
     }
 
@@ -224,7 +288,7 @@ impl RtNode {
             std::mem::take(&mut links.succs)
         };
         let mut out = Completion {
-            ready: Vec::new(),
+            ready: InlineVec::new(),
             released: taken.len(),
         };
         for succ in taken {
@@ -236,7 +300,7 @@ impl RtNode {
             out.released += persistent.len();
             for succ in persistent {
                 if succ.seal() {
-                    out.ready.push(Arc::clone(succ));
+                    out.ready.push(succ.clone());
                 }
             }
         }
@@ -317,23 +381,61 @@ mod tests {
     }
 
     #[test]
+    fn wide_fanout_spills_and_still_releases_every_successor() {
+        let p = RtNode::bare(TaskId(0), "p", None, 0);
+        let succs: Vec<NodeRef> = (1..=2 * SUCC_INLINE as u32)
+            .map(|i| RtNode::bare(TaskId(i), "s", None, 0))
+            .collect();
+        for s in &succs {
+            assert!(p.attach_succ(s));
+            s.seal();
+        }
+        let done = p.complete();
+        assert_eq!(done.released, 2 * SUCC_INLINE);
+        assert_eq!(done.ready.len(), 2 * SUCC_INLINE);
+    }
+
+    #[test]
     fn persistent_succs_survive_completion() {
         let p = RtNode::bare(TaskId(0), "p", None, 0);
         let s = RtNode::bare(TaskId(1), "s", None, 0);
-        p.set_persistent_succs(vec![Arc::clone(&s)]);
-        p.reset_for_iteration(0, 1);
-        s.reset_for_iteration(1, 1);
+        p.set_persistent_succs(vec![s.clone()]);
+        p.rearm_persistent(0, 1);
+        s.rearm_persistent(1, 1);
         // publish: drop visibility tokens
         assert!(p.seal());
         assert!(!s.seal());
         let d1 = p.complete();
         assert_eq!(d1.ready.len(), 1);
         // next iteration: same links, no reallocation
-        p.reset_for_iteration(0, 2);
-        s.reset_for_iteration(1, 2);
+        p.rearm_persistent(0, 2);
+        s.rearm_persistent(1, 2);
         assert!(p.seal());
         assert!(!s.seal());
         let d2 = p.complete();
         assert_eq!(d2.ready.len(), 1);
+    }
+
+    #[test]
+    fn fast_rearm_matches_full_reset_for_persistent_nodes() {
+        let p = RtNode::bare(TaskId(0), "p", None, 0);
+        let s = RtNode::bare(TaskId(1), "s", None, 0);
+        p.set_persistent_succs(vec![s.clone()]);
+        s.set_persistent_succs(vec![]);
+        p.rearm_persistent(0, 1);
+        s.rearm_persistent(1, 1);
+        assert_eq!(p.pending(), 1);
+        assert_eq!(s.pending(), 2);
+        assert!(p.seal());
+        assert!(!s.seal());
+        let d = p.complete();
+        assert_eq!(d.ready.len(), 1);
+        assert_eq!(p.iter.load(Ordering::Relaxed), 1);
+        // and again, after the completion above
+        p.rearm_persistent(0, 2);
+        s.rearm_persistent(1, 2);
+        assert!(p.seal());
+        assert!(!s.seal());
+        assert_eq!(p.complete().ready.len(), 1);
     }
 }

@@ -2,13 +2,21 @@
 //!
 //! A [`PersistentInstance`] materializes a captured [`GraphTemplate`] into
 //! live [`RtNode`]s exactly once; every later iteration reuses the same
-//! nodes and the same successor lists. `begin_iteration` resets each node
+//! nodes and the same successor lists. `begin_iteration` re-arms each node
 //! to `indegree + 1` — the extra unit is a *visibility token* — and
 //! [`PersistentInstance::publish`] drops tokens in whatever batching the
 //! back-end chooses: the thread executor publishes everything at once, the
 //! simulator publishes [`REINSTANCE_BATCH`]-sized chunks so re-instance
 //! cost is paid incrementally in virtual time.
+//!
+//! The re-arm is a **bulk sweep**: one dense pass zipping the node table
+//! with the template's precomputed in-degree array, two plain stores per
+//! node and no lock (instanced persistent nodes never receive streaming
+//! edges, so the links lock guards nothing here — see
+//! [`RtNode::rearm_persistent`]). This is the paper's "later iterations
+//! cost a memcpy" story made literal.
 
+use super::arena::{NodeArena, NodeRef};
 use super::probe::{NullProbe, RtProbe};
 use super::{ReadyTracker, RtNode};
 use crate::graph::GraphTemplate;
@@ -23,7 +31,9 @@ pub const REINSTANCE_BATCH: usize = 16;
 /// A captured graph, instanced once, re-armed per iteration.
 pub struct PersistentInstance {
     template: Arc<GraphTemplate>,
-    nodes: Vec<Arc<RtNode>>,
+    /// Keeps the arena chunks alive; nodes are referenced via `nodes`.
+    _arena: NodeArena,
+    nodes: Vec<NodeRef>,
     reuses: AtomicU64,
 }
 
@@ -31,19 +41,22 @@ impl PersistentInstance {
     /// Instance every template node and wire the persistent successor
     /// lists. This is the only allocation the persistent path ever does.
     pub fn new(template: Arc<GraphTemplate>, keep_work: bool) -> Self {
-        let nodes: Vec<Arc<RtNode>> = template
+        let mut arena = NodeArena::new();
+        arena.reserve(template.n_nodes());
+        let nodes: Vec<NodeRef> = template
             .ids()
-            .map(|id| RtNode::from_template(id, template.node(id), keep_work))
+            .map(|id| arena.alloc(RtNode::from_template(id, template.node(id), keep_work)))
             .collect();
         for id in template.ids() {
-            let succs: Vec<Arc<RtNode>> = template
+            let succs: Vec<NodeRef> = template
                 .successors(id)
-                .map(|s| Arc::clone(&nodes[s.index()]))
+                .map(|s| nodes[s.index()].clone())
                 .collect();
             nodes[id.index()].set_persistent_succs(succs);
         }
         PersistentInstance {
             template,
+            _arena: arena,
             nodes,
             reuses: AtomicU64::new(0),
         }
@@ -55,7 +68,7 @@ impl PersistentInstance {
     }
 
     /// All instanced nodes.
-    pub fn nodes(&self) -> &[Arc<RtNode>] {
+    pub fn nodes(&self) -> &[NodeRef] {
         &self.nodes
     }
 
@@ -69,7 +82,7 @@ impl PersistentInstance {
     }
 
     /// The node for `id`.
-    pub fn node(&self, id: TaskId) -> &Arc<RtNode> {
+    pub fn node(&self, id: TaskId) -> &NodeRef {
         &self.nodes[id.index()]
     }
 
@@ -90,8 +103,10 @@ impl PersistentInstance {
         probe: &dyn RtProbe,
         now_ns: u64,
     ) {
-        for node in &self.nodes {
-            node.reset_for_iteration(self.template.indegree(node.id), iter);
+        // Bulk re-arm: dense sweep over (node, indegree) pairs. Safe to
+        // skip the per-node lock — see RtNode::rearm_persistent.
+        for (node, &indeg) in self.nodes.iter().zip(self.template.indegrees()) {
+            node.rearm_persistent(indeg, iter);
         }
         tracker.created(self.nodes.len());
         // Relaxed: statistic, read between iterations.
@@ -106,7 +121,7 @@ impl PersistentInstance {
     /// Drop the visibility tokens of `range`, returning the nodes that
     /// became ready (roots of the template, once all their — zero —
     /// predecessors plus the token are gone).
-    pub fn publish(&self, range: Range<usize>) -> Vec<Arc<RtNode>> {
+    pub fn publish(&self, range: Range<usize>) -> Vec<NodeRef> {
         self.publish_with(range, &NullProbe, 0)
     }
 
@@ -117,17 +132,30 @@ impl PersistentInstance {
         range: Range<usize>,
         probe: &dyn RtProbe,
         now_ns: u64,
-    ) -> Vec<Arc<RtNode>> {
+    ) -> Vec<NodeRef> {
         let mut ready = Vec::new();
+        self.publish_into(range, probe, now_ns, &mut ready);
+        ready
+    }
+
+    /// [`PersistentInstance::publish_with`] into a caller-recycled buffer
+    /// — the steady-state replay path: the buffer reaches the template's
+    /// root-count high-water mark once and never grows again.
+    pub fn publish_into(
+        &self,
+        range: Range<usize>,
+        probe: &dyn RtProbe,
+        now_ns: u64,
+        ready: &mut Vec<NodeRef>,
+    ) {
         for node in &self.nodes[range] {
             if node.seal() {
                 if probe.lifecycle_enabled() {
                     probe.task_ready(node.id, now_ns);
                 }
-                ready.push(Arc::clone(node));
+                ready.push(node.clone());
             }
         }
-        ready
     }
 
     /// Number of iterations re-instanced through this template.
@@ -205,5 +233,30 @@ mod tests {
         );
         let rest = pinst.publish(1..pinst.len());
         assert!(!rest.is_empty(), "successors become ready on publish");
+    }
+
+    #[test]
+    fn publish_into_recycles_and_matches_publish() {
+        let tmpl = Arc::new(diamond_template());
+        let n = tmpl.n_nodes();
+        let pinst = PersistentInstance::new(Arc::clone(&tmpl), false);
+        let tracker = ReadyTracker::new();
+        let mut buf = Vec::new();
+        for iter in 1..=3u64 {
+            pinst.begin_iteration(iter, &tracker);
+            buf.clear();
+            let cap_before = buf.capacity();
+            pinst.publish_into(0..n, &NullProbe, 0, &mut buf);
+            if iter > 1 {
+                assert_eq!(buf.capacity(), cap_before, "warm buffer never regrows");
+            }
+            let mut frontier: Vec<NodeRef> = buf.clone();
+            while let Some(node) = frontier.pop() {
+                tracker.completed();
+                frontier.extend(node.complete().ready);
+            }
+            assert!(tracker.quiescent());
+        }
+        assert_eq!(pinst.reuses(), 3);
     }
 }

@@ -27,13 +27,13 @@ use std::sync::Mutex;
 
 /// Queue elements that can name the task they carry, so
 /// [`ReadyQueues::pop_with`] can narrate scheduling through a probe.
-/// The thread executor queues `Arc<RtNode>`; the simulator queues raw
-/// node indices.
+/// The thread executor queues [`super::NodeRef`]s; the simulator queues
+/// raw node indices.
 pub trait TaskKey {
     fn task_id(&self) -> TaskId;
 }
 
-impl TaskKey for std::sync::Arc<super::RtNode> {
+impl TaskKey for super::NodeRef {
     fn task_id(&self) -> TaskId {
         self.id
     }

@@ -114,6 +114,79 @@ impl TaskSpec {
     }
 }
 
+impl TaskSpec {
+    /// Borrow this spec as a [`SpecView`] — the form the discovery hot
+    /// path consumes.
+    pub fn view(&self) -> SpecView<'_> {
+        SpecView {
+            name: self.name,
+            depends: &self.depends,
+            flops: self.work.flops,
+            footprint: &self.work.footprint,
+            comm: self.comm,
+            body: self.body.as_ref(),
+            fp_bytes: self.fp_bytes,
+        }
+    }
+
+    /// Materialize an owned spec from a view (allocates; used by sinks
+    /// that must retain the data, e.g. the recording submitter).
+    pub fn from_view(view: &SpecView<'_>) -> TaskSpec {
+        TaskSpec {
+            name: view.name,
+            depends: view.depends.to_vec(),
+            work: WorkDesc {
+                flops: view.flops,
+                footprint: view.footprint.to_vec(),
+            },
+            comm: view.comm,
+            body: view.body.cloned(),
+            fp_bytes: view.fp_bytes,
+        }
+    }
+}
+
+/// A borrowed view of one task submission — what [`TaskSpec`] describes,
+/// without owning any of it.
+///
+/// This is the currency of the allocation-free submission path
+/// (DESIGN.md §4.4): the depend list and footprint are slices into a
+/// recycled buffer ([`crate::builder::SpecBuf`]), so submitting a task
+/// creates no `Vec`s. `WorkDesc` is decomposed into `flops` +
+/// `footprint` because its owned footprint vector is exactly the
+/// allocation this type exists to avoid.
+#[derive(Clone, Copy)]
+pub struct SpecView<'a> {
+    /// Debug/profiling name.
+    pub name: &'static str,
+    /// The `depend` clause.
+    pub depends: &'a [Depend],
+    /// Cost-model flop count.
+    pub flops: f64,
+    /// Cost-model memory footprint.
+    pub footprint: &'a [crate::workdesc::HandleSlice],
+    /// Optional communication side effect.
+    pub comm: Option<CommOp>,
+    /// Optional real computation (cloned — a refcount bump — by sinks
+    /// that keep it).
+    pub body: Option<&'a TaskBody>,
+    /// Firstprivate payload size in bytes.
+    pub fp_bytes: u32,
+}
+
+impl fmt::Debug for SpecView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpecView")
+            .field("name", &self.name)
+            .field("depends", &self.depends)
+            .field("flops", &self.flops)
+            .field("comm", &self.comm)
+            .field("has_body", &self.body.is_some())
+            .field("fp_bytes", &self.fp_bytes)
+            .finish()
+    }
+}
+
 impl fmt::Debug for TaskSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("TaskSpec")
@@ -131,6 +204,7 @@ impl fmt::Debug for TaskSpec {
 mod tests {
     use super::*;
     use crate::handle::HandleSpace;
+    use crate::workdesc::HandleSlice;
 
     #[test]
     fn builder_accumulates() {
@@ -150,6 +224,25 @@ mod tests {
         assert!(spec.body.is_some());
         assert_eq!(spec.fp_bytes, 24);
         assert!(format!("{spec:?}").contains("demo"));
+    }
+
+    #[test]
+    fn view_round_trips() {
+        let mut s = HandleSpace::new();
+        let x = s.region("x", 8);
+        let spec = TaskSpec::new("rt")
+            .depend(x, AccessMode::InOut)
+            .work(WorkDesc::compute(3.0).touching(HandleSlice::whole(x, 8)))
+            .firstprivate_bytes(32)
+            .body(|_| {});
+        let back = TaskSpec::from_view(&spec.view());
+        assert_eq!(back.name, spec.name);
+        assert_eq!(back.depends, spec.depends);
+        assert_eq!(back.work.flops, spec.work.flops);
+        assert_eq!(back.work.footprint.len(), 1);
+        assert!(back.body.is_some());
+        assert_eq!(back.fp_bytes, 32);
+        assert!(format!("{:?}", spec.view()).contains("rt"));
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//! Small vendored utilities (no crates.io access — same policy as the
+//! `crates/proptest` and `crates/criterion` shims).
+
+mod inline;
+
+pub use inline::InlineVec;

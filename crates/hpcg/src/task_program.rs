@@ -3,11 +3,10 @@
 use crate::config::*;
 use crate::handles::HpcgHandles;
 use crate::state::HpcgState;
-use ptdg_core::access::{AccessMode, Depend};
-use ptdg_core::builder::TaskSubmitter;
+use ptdg_core::access::AccessMode;
+use ptdg_core::builder::{SpecBuf, TaskSubmitter};
 use ptdg_core::handle::HandleSpace;
-use ptdg_core::task::TaskSpec;
-use ptdg_core::workdesc::{CommOp, HandleSlice, WorkDesc};
+use ptdg_core::workdesc::{CommOp, HandleSlice};
 use ptdg_simrt::{Rank, RankProgram};
 
 /// The task-based HPCG program.
@@ -92,6 +91,9 @@ impl RankProgram for HpcgTask {
         let want = sub.wants_bodies() && self.state.is_some();
         let multi = cfg.n_ranks() > 1;
         let whole = |hd| HandleSlice::whole(hd, space.info(hd).bytes);
+        // One recycled construction buffer for the whole iteration: after
+        // the widest task warms it up, submissions build no Vecs.
+        let mut buf = SpecBuf::new();
 
         // Halo exchange of p with the 6 face neighbors, before the SpMV.
         if multi {
@@ -108,194 +110,185 @@ impl RankProgram for HpcgTask {
                     _ => (0, n),
                 };
                 let (s0, s1) = h.blocks_overlapping(fa, fb.max(fa + 1));
-                sub.submit(TaskSpec::new("MPI_Irecv").depend(h.rbuf[dir], Out).comm(
-                    CommOp::Irecv {
+                buf.begin("MPI_Irecv")
+                    .dep(h.rbuf[dir], Out)
+                    .comm(CommOp::Irecv {
                         peer,
                         bytes,
                         tag: (dir ^ 1) as u32,
-                    },
-                ));
-                let mut deps: Vec<Depend> = (s0..=s1).map(|i| Depend::read(h.p[i])).collect();
-                deps.push(Depend::write(h.sbuf[dir]));
-                sub.submit(TaskSpec::new("PackHalo").depends(deps).work(WorkDesc {
-                    flops: bytes as f64 / 8.0,
-                    footprint: vec![whole(h.sbuf[dir])],
-                }));
-                sub.submit(TaskSpec::new("MPI_Isend").depend(h.sbuf[dir], In).comm(
-                    CommOp::Isend {
+                    })
+                    .submit(sub);
+                buf.begin("PackHalo");
+                for i in s0..=s1 {
+                    buf.dep(h.p[i], In);
+                }
+                buf.dep(h.sbuf[dir], Out)
+                    .flops(bytes as f64 / 8.0)
+                    .touch(whole(h.sbuf[dir]))
+                    .submit(sub);
+                buf.begin("MPI_Isend")
+                    .dep(h.sbuf[dir], In)
+                    .comm(CommOp::Isend {
                         peer,
                         bytes,
                         tag: dir as u32,
-                    },
-                ));
-                let mut deps = vec![Depend::read(h.rbuf[dir])];
-                deps.extend((s0..=s1).map(|i| Depend::new(h.p[i], InOut)));
-                sub.submit(TaskSpec::new("UnpackHalo").depends(deps).work(WorkDesc {
-                    flops: bytes as f64 / 8.0,
-                    footprint: vec![whole(h.rbuf[dir])],
-                }));
+                    })
+                    .submit(sub);
+                buf.begin("UnpackHalo").dep(h.rbuf[dir], In);
+                for i in s0..=s1 {
+                    buf.dep(h.p[i], InOut);
+                }
+                buf.flops(bytes as f64 / 8.0)
+                    .touch(whole(h.rbuf[dir]))
+                    .submit(sub);
             }
         }
 
         // SpMV: row block i reads the neighbouring p blocks.
         for (i, &(a, b)) in h.blocks.iter().enumerate() {
             let (p0, p1) = h.spmv_reads(a, b, nx);
-            let mut deps: Vec<Depend> = (p0..=p1).map(|j| Depend::read(h.p[j])).collect();
-            deps.push(Depend::write(h.ap[i]));
-            let mut fp: Vec<HandleSlice> = (p0..=p1).map(|j| whole(h.p[j])).collect();
-            fp.push(whole(h.ap[i]));
-            fp.push(HandleSlice {
-                handle: h.matrix,
-                offset: a as u64 * 324,
-                len: (b - a) as u64 * 324,
-            });
-            let mut spec = TaskSpec::new("SpMV").depends(deps).work(WorkDesc {
-                flops: (b - a) as f64 * F_SPMV,
-                footprint: fp,
-            });
+            buf.begin("SpMV");
+            for j in p0..=p1 {
+                buf.dep(h.p[j], In).touch(whole(h.p[j]));
+            }
+            buf.dep(h.ap[i], Out)
+                .touch(whole(h.ap[i]))
+                .touch(HandleSlice {
+                    handle: h.matrix,
+                    offset: a as u64 * 324,
+                    len: (b - a) as u64 * 324,
+                })
+                .flops((b - a) as f64 * F_SPMV);
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_spmv(a..b));
+                buf.body(move |_| st.k_spmv(a..b));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // Partial p·Ap into the scratch vector (concurrent writes).
         for (i, &(a, b)) in h.blocks.iter().enumerate() {
-            let mut spec = TaskSpec::new("DotPAp")
-                .depend(h.p[i], In)
-                .depend(h.ap[i], In)
-                .depend(h.pap_scratch, InOutSet)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_DOT,
-                    footprint: vec![
-                        whole(h.p[i]),
-                        whole(h.ap[i]),
-                        HandleSlice {
-                            handle: h.pap_scratch,
-                            offset: i as u64 * 8,
-                            len: 8,
-                        },
-                    ],
+            buf.begin("DotPAp")
+                .dep(h.p[i], In)
+                .dep(h.ap[i], In)
+                .dep(h.pap_scratch, InOutSet)
+                .flops((b - a) as f64 * F_DOT)
+                .touch(whole(h.p[i]))
+                .touch(whole(h.ap[i]))
+                .touch(HandleSlice {
+                    handle: h.pap_scratch,
+                    offset: i as u64 * 8,
+                    len: 8,
                 });
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_dot_pap(a..b, i));
+                buf.body(move |_| st.k_dot_pap(a..b, i));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // Reduce + alpha (carries the collective).
         {
-            let mut spec = TaskSpec::new("ReduceAlpha")
-                .depend(h.pap_scratch, In)
-                .depend(h.alpha, AccessMode::InOut)
-                .work(WorkDesc {
-                    flops: h.blocks.len() as f64,
-                    footprint: vec![whole(h.pap_scratch), whole(h.alpha)],
-                });
+            buf.begin("ReduceAlpha")
+                .dep(h.pap_scratch, In)
+                .dep(h.alpha, AccessMode::InOut)
+                .flops(h.blocks.len() as f64)
+                .touch(whole(h.pap_scratch))
+                .touch(whole(h.alpha));
             if multi {
-                spec = spec.comm(CommOp::Iallreduce { bytes: 8 });
+                buf.comm(CommOp::Iallreduce { bytes: 8 });
             }
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_alpha());
+                buf.body(move |_| st.k_alpha());
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // x += alpha p ; r -= alpha ap.
         for (i, &(a, b)) in h.blocks.iter().enumerate() {
-            let mut spec = TaskSpec::new("AxpyX")
-                .depend(h.alpha, In)
-                .depend(h.p[i], In)
-                .depend(h.x[i], AccessMode::InOut)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_AXPY,
-                    footprint: vec![whole(h.p[i]), whole(h.x[i])],
-                });
+            buf.begin("AxpyX")
+                .dep(h.alpha, In)
+                .dep(h.p[i], In)
+                .dep(h.x[i], AccessMode::InOut)
+                .flops((b - a) as f64 * F_AXPY)
+                .touch(whole(h.p[i]))
+                .touch(whole(h.x[i]));
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_axpy_x(a..b));
+                buf.body(move |_| st.k_axpy_x(a..b));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
         for (i, &(a, b)) in h.blocks.iter().enumerate() {
-            let mut spec = TaskSpec::new("AxpyR")
-                .depend(h.alpha, In)
-                .depend(h.ap[i], In)
-                .depend(h.r[i], AccessMode::InOut)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_AXPY,
-                    footprint: vec![whole(h.ap[i]), whole(h.r[i])],
-                });
+            buf.begin("AxpyR")
+                .dep(h.alpha, In)
+                .dep(h.ap[i], In)
+                .dep(h.r[i], AccessMode::InOut)
+                .flops((b - a) as f64 * F_AXPY)
+                .touch(whole(h.ap[i]))
+                .touch(whole(h.r[i]));
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_axpy_r(a..b));
+                buf.body(move |_| st.k_axpy_r(a..b));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // Partial r·r.
         for (i, &(a, b)) in h.blocks.iter().enumerate() {
-            let mut spec = TaskSpec::new("DotRR")
-                .depend(h.r[i], In)
-                .depend(h.rr_scratch, InOutSet)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_DOT,
-                    footprint: vec![
-                        whole(h.r[i]),
-                        HandleSlice {
-                            handle: h.rr_scratch,
-                            offset: i as u64 * 8,
-                            len: 8,
-                        },
-                    ],
+            buf.begin("DotRR")
+                .dep(h.r[i], In)
+                .dep(h.rr_scratch, InOutSet)
+                .flops((b - a) as f64 * F_DOT)
+                .touch(whole(h.r[i]))
+                .touch(HandleSlice {
+                    handle: h.rr_scratch,
+                    offset: i as u64 * 8,
+                    len: 8,
                 });
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_dot_rr(a..b, i));
+                buf.body(move |_| st.k_dot_rr(a..b, i));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // Reduce + beta (second collective; also reads/writes rr via alpha
         // handle's region ordering: beta depends on alpha to serialize the
         // scalar updates).
         {
-            let mut spec = TaskSpec::new("ReduceBeta")
-                .depend(h.rr_scratch, In)
-                .depend(h.alpha, In)
-                .depend(h.beta, AccessMode::InOut)
-                .work(WorkDesc {
-                    flops: h.blocks.len() as f64,
-                    footprint: vec![whole(h.rr_scratch), whole(h.beta)],
-                });
+            buf.begin("ReduceBeta")
+                .dep(h.rr_scratch, In)
+                .dep(h.alpha, In)
+                .dep(h.beta, AccessMode::InOut)
+                .flops(h.blocks.len() as f64)
+                .touch(whole(h.rr_scratch))
+                .touch(whole(h.beta));
             if multi {
-                spec = spec.comm(CommOp::Iallreduce { bytes: 8 });
+                buf.comm(CommOp::Iallreduce { bytes: 8 });
             }
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_beta());
+                buf.body(move |_| st.k_beta());
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // p = r + beta p.
         for (i, &(a, b)) in h.blocks.iter().enumerate() {
-            let mut spec = TaskSpec::new("UpdateP")
-                .depend(h.beta, In)
-                .depend(h.r[i], In)
-                .depend(h.p[i], AccessMode::InOut)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_AXPY,
-                    footprint: vec![whole(h.r[i]), whole(h.p[i])],
-                });
+            buf.begin("UpdateP")
+                .dep(h.beta, In)
+                .dep(h.r[i], In)
+                .dep(h.p[i], AccessMode::InOut)
+                .flops((b - a) as f64 * F_AXPY)
+                .touch(whole(h.r[i]))
+                .touch(whole(h.p[i]));
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_update_p(a..b));
+                buf.body(move |_| st.k_update_p(a..b));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
     }
 }

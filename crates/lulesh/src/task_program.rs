@@ -11,11 +11,10 @@ use crate::config::*;
 use crate::handles::LuleshHandles;
 use crate::mesh::{overlapping_slices, Mesh, RankGrid};
 use crate::state::LuleshState;
-use ptdg_core::access::{AccessMode, Depend};
-use ptdg_core::builder::TaskSubmitter;
+use ptdg_core::access::AccessMode;
+use ptdg_core::builder::{SpecBuf, TaskSubmitter};
 use ptdg_core::handle::{DataHandle, HandleSpace};
-use ptdg_core::task::TaskSpec;
-use ptdg_core::workdesc::{CommOp, HandleSlice, WorkDesc};
+use ptdg_core::workdesc::{CommOp, HandleSlice};
 use ptdg_simrt::{Rank, RankProgram};
 
 /// The task-based LULESH program for one job (all ranks share the
@@ -104,8 +103,11 @@ impl LuleshTask {
         }
     }
 
-    fn deps_group(handles: &[DataHandle], mode: AccessMode) -> Vec<Depend> {
-        handles.iter().map(|&h| Depend::new(h, mode)).collect()
+    /// Append one depend item per handle of a group to the buffer.
+    fn dep_group(buf: &mut SpecBuf, handles: &[DataHandle], mode: AccessMode) {
+        for &h in handles {
+            buf.dep(h, mode);
+        }
     }
 }
 
@@ -126,61 +128,86 @@ impl RankProgram for LuleshTask {
         let fused = cfg.fused_deps;
         let want = sub.wants_bodies() && self.state.is_some();
         let multi = cfg.n_ranks() > 1;
-        let gfp = |hs: &[DataHandle]| LuleshHandles::group_footprint(space, hs);
+        // One recycled construction buffer for the whole iteration: after
+        // the widest task warms it up, submissions build no Vecs.
+        let mut buf = SpecBuf::new();
+        let dg = Self::dep_group;
+        let tg = |buf: &mut SpecBuf, hs: &[DataHandle]| {
+            for &hd in hs {
+                buf.touch(HandleSlice::whole(hd, space.info(hd).bytes));
+            }
+        };
+        let tmp = |buf: &mut SpecBuf, handle: DataHandle, total: usize, arrays, a: usize, b| {
+            for k in 0..arrays as u64 {
+                buf.touch(HandleSlice {
+                    handle,
+                    offset: k * total as u64 * 8 + a as u64 * 8,
+                    len: (b - a) as u64 * 8,
+                });
+            }
+        };
+        let qg = |buf: &mut SpecBuf, a: usize, b: usize| {
+            let (a, b) = (a as u64, b as u64);
+            if fused {
+                for k in 0..2u64 {
+                    buf.touch(HandleSlice {
+                        handle: h.qgrad[0],
+                        offset: k * h.n_elems as u64 * 8 + a * 8,
+                        len: (b - a) * 8,
+                    });
+                }
+            } else {
+                for &hd in &h.qgrad {
+                    buf.touch(HandleSlice {
+                        handle: hd,
+                        offset: a * 8,
+                        len: (b - a) * 8,
+                    });
+                }
+            }
+        };
 
         // 1. dynamic time step: reads every courant slot, reduced globally.
         {
-            let mut fp = vec![HandleSlice::whole(h.scratch, space.info(h.scratch).bytes)];
-            fp.push(HandleSlice::whole(h.dt, 8));
-            let mut spec = TaskSpec::new("CalcTimeStep")
-                .depend(h.scratch, In)
-                .depend(h.dt, Out)
-                .work(WorkDesc {
-                    flops: h.elem_slices.len() as f64 * 2.0,
-                    footprint: fp,
-                })
-                .firstprivate_bytes(16);
+            buf.begin("CalcTimeStep")
+                .dep(h.scratch, In)
+                .dep(h.dt, Out)
+                .flops(h.elem_slices.len() as f64 * 2.0)
+                .touch(HandleSlice::whole(h.scratch, space.info(h.scratch).bytes))
+                .touch(HandleSlice::whole(h.dt, 8))
+                .fp_bytes(16);
             if multi {
-                spec = spec.comm(CommOp::Iallreduce { bytes: 8 });
+                buf.comm(CommOp::Iallreduce { bytes: 8 });
             }
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_dt());
+                buf.body(move |_| st.k_dt());
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // 2. stress: σ from the EOS fields of the same slice.
         for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
-            let mut spec = TaskSpec::new("CalcStressForElems")
-                .depends(Self::deps_group(&h.eos[i], In))
-                .depend(h.sig[i], Out)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_STRESS,
-                    footprint: {
-                        let mut fp = gfp(&h.eos[i]);
-                        fp.push(HandleSlice::whole(h.sig[i], space.info(h.sig[i]).bytes));
-                        fp
-                    },
-                });
+            buf.begin("CalcStressForElems");
+            dg(&mut buf, &h.eos[i], In);
+            buf.dep(h.sig[i], Out).flops((b - a) as f64 * F_STRESS);
+            tg(&mut buf, &h.eos[i]);
+            buf.touch(HandleSlice::whole(h.sig[i], space.info(h.sig[i]).bytes));
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_stress(a..b));
+                buf.body(move |_| st.k_stress(a..b));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // 3. CalcForceForNodes: zero the nodal force slices before the
         // gather (the group opener the hourglass inoutset members follow).
         for (i, &(a, b)) in h.node_slices.iter().enumerate() {
-            sub.submit(
-                TaskSpec::new("CalcForceForNodes")
-                    .depends(Self::deps_group(&h.force[i], Out))
-                    .work(WorkDesc {
-                        flops: (b - a) as f64 * F_ZEROF,
-                        footprint: gfp(&h.force[i]),
-                    }),
-            );
+            buf.begin("CalcForceForNodes");
+            dg(&mut buf, &h.force[i], Out);
+            buf.flops((b - a) as f64 * F_ZEROF);
+            tg(&mut buf, &h.force[i]);
+            buf.submit(sub);
         }
 
         // 4. force gather: task i computes the forces of node slab i from
@@ -192,116 +219,98 @@ impl RankProgram for LuleshTask {
         let n_ns = h.node_slices.len();
         for (i, &(a, b)) in h.node_slices.iter().enumerate() {
             let (e0, e1) = self.elem_slices_for_nodes(a, b);
-            let mut deps: Vec<Depend> = (e0..=e1).map(|j| Depend::read(h.sig[j])).collect();
+            buf.begin("CalcFBHourglassForceForElems");
+            for j in e0..=e1 {
+                buf.dep(h.sig[j], In);
+            }
             let j0 = i.saturating_sub(1);
             let j1 = (i + 1).min(n_ns - 1);
             for j in j0..=j1 {
-                deps.extend(Self::deps_group(&h.force[j], InOutSet));
+                dg(&mut buf, &h.force[j], InOutSet);
             }
             // the hourglass control reads the nodal coordinates too
-            deps.extend(Self::deps_group(&h.pos[i], In));
-            let mut fp: Vec<HandleSlice> = (e0..=e1)
-                .map(|j| HandleSlice::whole(h.sig[j], space.info(h.sig[j]).bytes))
-                .collect();
-            fp.extend(gfp(&h.force[i]));
-            fp.extend(gfp(&h.pos[i]));
-            fp.extend(h.tmp_footprint(
+            dg(&mut buf, &h.pos[i], In);
+            buf.flops((b - a) as f64 * F_FORCE);
+            for j in e0..=e1 {
+                buf.touch(HandleSlice::whole(h.sig[j], space.info(h.sig[j]).bytes));
+            }
+            tg(&mut buf, &h.force[i]);
+            tg(&mut buf, &h.pos[i]);
+            tmp(
+                &mut buf,
                 h.tmp_elem,
                 h.n_elems,
                 4,
                 a.min(h.n_elems - 1),
                 b.min(h.n_elems),
-            ));
-            fp.extend(h.tmp_footprint(h.tmp_node, h.n_nodes, 2, a, b));
-            let mut spec = TaskSpec::new("CalcFBHourglassForceForElems")
-                .depends(deps)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_FORCE,
-                    footprint: fp,
-                });
+            );
+            tmp(&mut buf, h.tmp_node, h.n_nodes, 2, a, b);
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_force(a..b));
+                buf.body(move |_| st.k_force(a..b));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // 5. acceleration solve: F/m plus the symmetry boundary
         // conditions, into the acceleration arrays.
         for (i, &(a, b)) in h.node_slices.iter().enumerate() {
-            let mut deps = Self::deps_group(&h.force[i], In);
-            deps.push(Depend::read(h.dt));
-            deps.extend(Self::deps_group(&h.acc[i], Out));
-            let mut fp = gfp(&h.force[i]);
-            fp.extend(gfp(&h.acc[i]));
-            fp.push(HandleSlice {
+            buf.begin("CalcAccelerationForNodes");
+            dg(&mut buf, &h.force[i], In);
+            buf.dep(h.dt, In);
+            dg(&mut buf, &h.acc[i], Out);
+            buf.flops((b - a) as f64 * F_ACCSOLVE);
+            tg(&mut buf, &h.force[i]);
+            tg(&mut buf, &h.acc[i]);
+            buf.touch(HandleSlice {
                 handle: h.mass,
                 offset: a as u64 * 8,
                 len: (b - a) as u64 * 8,
             });
-            sub.submit(
-                TaskSpec::new("CalcAccelerationForNodes")
-                    .depends(deps)
-                    .work(WorkDesc {
-                        flops: (b - a) as f64 * F_ACCSOLVE,
-                        footprint: fp,
-                    }),
-            );
+            buf.submit(sub);
         }
 
         // 6. velocity integration (carries the real k_accel body: its
         // force reads are ordered transitively through the acceleration
         // slice).
         for (i, &(a, b)) in h.node_slices.iter().enumerate() {
-            let mut deps = Self::deps_group(&h.acc[i], In);
-            deps.extend(Self::deps_group(&h.vel[i], AccessMode::InOut));
-            let mut fp = gfp(&h.acc[i]);
-            fp.extend(gfp(&h.vel[i]));
-            let mut spec = TaskSpec::new("CalcVelocityForNodes")
-                .depends(deps)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_ACCEL,
-                    footprint: fp,
-                });
+            buf.begin("CalcVelocityForNodes");
+            dg(&mut buf, &h.acc[i], In);
+            dg(&mut buf, &h.vel[i], InOut);
+            buf.flops((b - a) as f64 * F_ACCEL);
+            tg(&mut buf, &h.acc[i]);
+            tg(&mut buf, &h.vel[i]);
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_accel(a..b));
+                buf.body(move |_| st.k_accel(a..b));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // 5. positions.
         for (i, &(a, b)) in h.node_slices.iter().enumerate() {
-            let mut deps = Self::deps_group(&h.vel[i], In);
-            deps.push(Depend::read(h.dt));
-            deps.extend(Self::deps_group(&h.pos[i], AccessMode::InOut));
-            let mut fp = gfp(&h.vel[i]);
-            fp.extend(gfp(&h.pos[i]));
-            let mut spec = TaskSpec::new("CalcPositionForNodes")
-                .depends(deps)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_POS,
-                    footprint: fp,
-                });
+            buf.begin("CalcPositionForNodes");
+            dg(&mut buf, &h.vel[i], In);
+            buf.dep(h.dt, In);
+            dg(&mut buf, &h.pos[i], InOut);
+            buf.flops((b - a) as f64 * F_POS);
+            tg(&mut buf, &h.vel[i]);
+            tg(&mut buf, &h.pos[i]);
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_pos(a..b));
+                buf.body(move |_| st.k_pos(a..b));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // Optional taskwait fence before the communication sequence.
         if cfg.taskwait_fenced {
-            let mut deps = vec![Depend::new(h.fence, AccessMode::InOut)];
+            buf.begin("taskwait").dep(h.fence, InOut);
             for i in 0..h.node_slices.len() {
-                deps.extend(Self::deps_group(&h.pos[i], AccessMode::InOut));
-                deps.extend(Self::deps_group(&h.vel[i], AccessMode::InOut));
+                dg(&mut buf, &h.pos[i], InOut);
+                dg(&mut buf, &h.vel[i], InOut);
             }
-            sub.submit(
-                TaskSpec::new("taskwait")
-                    .depends(deps)
-                    .work(WorkDesc::compute(0.0)),
-            );
+            buf.submit(sub);
         }
 
         // Frontier exchange with the 26 neighbors.
@@ -313,99 +322,81 @@ impl RankProgram for LuleshTask {
                 let (s0, s1) = overlapping_slices(&h.node_slices, fa, fb);
                 // Receive: the buffer write-dependence orders it after the
                 // previous iteration's unpack (WAR through rbuf).
-                sub.submit(TaskSpec::new("MPI_Irecv").depend(h.rbuf[dir], Out).comm(
-                    CommOp::Irecv {
+                buf.begin("MPI_Irecv")
+                    .dep(h.rbuf[dir], Out)
+                    .comm(CommOp::Irecv {
                         peer: nb.rank,
                         bytes,
                         tag: RankGrid::opposite(dir) as u32,
-                    },
-                ));
+                    })
+                    .submit(sub);
                 // Pack frontier values (positions, velocities and the
                 // boundary forces — the second reader of the force
                 // inoutset groups, where optimization (c) pays off).
-                let mut deps: Vec<Depend> = Vec::new();
+                buf.begin("Pack");
                 for i in s0..=s1 {
-                    deps.extend(Self::deps_group(&h.pos[i], In));
-                    deps.extend(Self::deps_group(&h.vel[i], In));
-                    deps.extend(Self::deps_group(&h.force[i], In));
+                    dg(&mut buf, &h.pos[i], In);
+                    dg(&mut buf, &h.vel[i], In);
+                    dg(&mut buf, &h.force[i], In);
                 }
-                deps.push(Depend::write(h.sbuf[dir]));
-                sub.submit(
-                    TaskSpec::new("Pack")
-                        .depends(deps)
-                        .work(WorkDesc {
-                            flops: bytes as f64 / 8.0 * 2.0,
-                            footprint: vec![HandleSlice::whole(h.sbuf[dir], bytes)],
-                        })
-                        .firstprivate_bytes(48),
-                );
-                sub.submit(TaskSpec::new("MPI_Isend").depend(h.sbuf[dir], In).comm(
-                    CommOp::Isend {
+                buf.dep(h.sbuf[dir], Out)
+                    .flops(bytes as f64 / 8.0 * 2.0)
+                    .touch(HandleSlice::whole(h.sbuf[dir], bytes))
+                    .fp_bytes(48)
+                    .submit(sub);
+                buf.begin("MPI_Isend")
+                    .dep(h.sbuf[dir], In)
+                    .comm(CommOp::Isend {
                         peer: nb.rank,
                         bytes,
                         tag: dir as u32,
-                    },
-                ));
+                    })
+                    .submit(sub);
                 // Unpack into the frontier slices.
-                let mut deps = vec![Depend::read(h.rbuf[dir])];
+                buf.begin("Unpack").dep(h.rbuf[dir], In);
                 for i in s0..=s1 {
-                    deps.extend(Self::deps_group(&h.pos[i], AccessMode::InOut));
-                    deps.extend(Self::deps_group(&h.vel[i], AccessMode::InOut));
+                    dg(&mut buf, &h.pos[i], InOut);
+                    dg(&mut buf, &h.vel[i], InOut);
                 }
-                sub.submit(
-                    TaskSpec::new("Unpack")
-                        .depends(deps)
-                        .work(WorkDesc {
-                            flops: bytes as f64 / 8.0 * 2.0,
-                            footprint: vec![HandleSlice::whole(h.rbuf[dir], bytes)],
-                        })
-                        .firstprivate_bytes(48),
-                );
+                buf.flops(bytes as f64 / 8.0 * 2.0)
+                    .touch(HandleSlice::whole(h.rbuf[dir], bytes))
+                    .fp_bytes(48)
+                    .submit(sub);
             }
         }
 
         if cfg.taskwait_fenced {
-            let mut deps = vec![Depend::new(h.fence, AccessMode::InOut)];
+            buf.begin("taskwait").dep(h.fence, InOut);
             for i in 0..h.node_slices.len() {
-                deps.extend(Self::deps_group(&h.pos[i], AccessMode::InOut));
-                deps.extend(Self::deps_group(&h.vel[i], AccessMode::InOut));
+                dg(&mut buf, &h.pos[i], InOut);
+                dg(&mut buf, &h.vel[i], InOut);
             }
-            sub.submit(
-                TaskSpec::new("taskwait")
-                    .depends(deps)
-                    .work(WorkDesc::compute(0.0)),
-            );
+            buf.submit(sub);
         }
 
         // 6. kinematics: element volumes from the updated positions.
         for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
             let (n0, n1) = self.node_slices_for_elems(a, b);
-            let mut deps: Vec<Depend> = Vec::new();
+            buf.begin("CalcLagrangeElements");
             for j in n0..=n1 {
-                deps.extend(Self::deps_group(&h.pos[j], In));
+                dg(&mut buf, &h.pos[j], In);
             }
-            deps.extend(Self::deps_group(&h.kin[i], Out));
+            dg(&mut buf, &h.kin[i], Out);
             for j in n0..=n1 {
-                deps.extend(Self::deps_group(&h.vel[j], In));
+                dg(&mut buf, &h.vel[j], In);
             }
-            let mut fp: Vec<HandleSlice> = Vec::new();
+            buf.flops((b - a) as f64 * F_KIN);
             for j in n0..=n1 {
-                fp.extend(gfp(&h.pos[j]));
-                fp.extend(gfp(&h.vel[j]));
+                tg(&mut buf, &h.pos[j]);
+                tg(&mut buf, &h.vel[j]);
             }
-            fp.extend(gfp(&h.kin[i]));
-            fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 1, a, b));
-            let mut spec = TaskSpec::new("CalcLagrangeElements")
-                .depends(deps)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_KIN,
-                    footprint: fp,
-                });
+            tg(&mut buf, &h.kin[i]);
+            tmp(&mut buf, h.tmp_elem, h.n_elems, 1, a, b);
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_kin(a..b));
+                buf.body(move |_| st.k_kin(a..b));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // 9. monotonic Q gradient: writes the gradient arrays through the
@@ -413,132 +404,102 @@ impl RankProgram for LuleshTask {
         // the m writers of the Fig. 4 pattern.
         for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
             let (n0, n1) = self.node_slices_for_elems(a, b);
-            let mut deps: Vec<Depend> = Vec::new();
+            buf.begin("CalcMonotonicQGradientsForElems");
             for j in n0..=n1 {
-                deps.extend(Self::deps_group(&h.pos[j], In));
-                deps.extend(Self::deps_group(&h.vel[j], In));
+                dg(&mut buf, &h.pos[j], In);
+                dg(&mut buf, &h.vel[j], In);
             }
-            deps.extend(Self::deps_group(&h.kin[i], In));
-            deps.extend(Self::deps_group(&h.qgrad, InOutSet));
-            let mut fp: Vec<HandleSlice> = Vec::new();
+            dg(&mut buf, &h.kin[i], In);
+            dg(&mut buf, &h.qgrad, InOutSet);
+            buf.flops((b - a) as f64 * F_QGRAD);
             for j in n0..=n1 {
-                fp.extend(gfp(&h.pos[j]));
-                fp.extend(gfp(&h.vel[j]));
+                tg(&mut buf, &h.pos[j]);
+                tg(&mut buf, &h.vel[j]);
             }
-            fp.extend(gfp(&h.kin[i]));
-            fp.extend(h.qgrad_footprint(a, b, fused));
-            fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 1, a, b));
-            sub.submit(
-                TaskSpec::new("CalcMonotonicQGradientsForElems")
-                    .depends(deps)
-                    .work(WorkDesc {
-                        flops: (b - a) as f64 * F_QGRAD,
-                        footprint: fp,
-                    }),
-            );
+            tg(&mut buf, &h.kin[i]);
+            qg(&mut buf, a, b);
+            tmp(&mut buf, h.tmp_elem, h.n_elems, 1, a, b);
+            buf.submit(sub);
         }
 
         // 10. monotonic Q region: reads neighbour gradients through the
         // same indirection — the n readers of the m·n pattern (without
         // optimization (c) this costs TPL² edges).
         for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
-            let mut deps = Self::deps_group(&h.qgrad, In);
-            deps.extend(Self::deps_group(&h.qq[i], Out));
-            let mut fp = h.qgrad_footprint(a.saturating_sub(1), (b + 1).min(h.n_elems), fused);
-            fp.extend(gfp(&h.qq[i]));
-            sub.submit(
-                TaskSpec::new("CalcMonotonicQRegionForElems")
-                    .depends(deps)
-                    .work(WorkDesc {
-                        flops: (b - a) as f64 * F_QREGION,
-                        footprint: fp,
-                    }),
-            );
+            buf.begin("CalcMonotonicQRegionForElems");
+            dg(&mut buf, &h.qgrad, In);
+            dg(&mut buf, &h.qq[i], Out);
+            buf.flops((b - a) as f64 * F_QREGION);
+            qg(&mut buf, a.saturating_sub(1), (b + 1).min(h.n_elems));
+            tg(&mut buf, &h.qq[i]);
+            buf.submit(sub);
         }
 
         // 11. first energy pass.
         for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
-            let mut deps = Self::deps_group(&h.kin[i], In);
-            deps.extend(Self::deps_group(&h.qq[i], In));
-            deps.extend(Self::deps_group(&h.epass[i], Out));
-            let mut fp = gfp(&h.kin[i]);
-            fp.extend(gfp(&h.qq[i]));
-            fp.extend(gfp(&h.epass[i]));
-            fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 1, a, b));
-            sub.submit(
-                TaskSpec::new("CalcEnergyForElems")
-                    .depends(deps)
-                    .work(WorkDesc {
-                        flops: (b - a) as f64 * F_EPASS,
-                        footprint: fp,
-                    }),
-            );
+            buf.begin("CalcEnergyForElems");
+            dg(&mut buf, &h.kin[i], In);
+            dg(&mut buf, &h.qq[i], In);
+            dg(&mut buf, &h.epass[i], Out);
+            buf.flops((b - a) as f64 * F_EPASS);
+            tg(&mut buf, &h.kin[i]);
+            tg(&mut buf, &h.qq[i]);
+            tg(&mut buf, &h.epass[i]);
+            tmp(&mut buf, h.tmp_elem, h.n_elems, 1, a, b);
+            buf.submit(sub);
         }
 
         // 12. EOS (the real material update body).
         for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
-            let mut deps = Self::deps_group(&h.kin[i], In);
-            deps.extend(Self::deps_group(&h.qq[i], In));
-            deps.extend(Self::deps_group(&h.epass[i], In));
-            deps.extend(Self::deps_group(&h.eos[i], AccessMode::InOut));
-            let mut fp = gfp(&h.kin[i]);
-            fp.extend(gfp(&h.qq[i]));
-            fp.extend(gfp(&h.epass[i]));
-            fp.extend(gfp(&h.eos[i]));
-            fp.extend(h.tmp_footprint(h.tmp_elem, h.n_elems, 2, a, b));
-            let mut spec = TaskSpec::new("EvalEOSForElems")
-                .depends(deps)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_EOS,
-                    footprint: fp,
-                });
+            buf.begin("EvalEOSForElems");
+            dg(&mut buf, &h.kin[i], In);
+            dg(&mut buf, &h.qq[i], In);
+            dg(&mut buf, &h.epass[i], In);
+            dg(&mut buf, &h.eos[i], InOut);
+            buf.flops((b - a) as f64 * F_EOS);
+            tg(&mut buf, &h.kin[i]);
+            tg(&mut buf, &h.qq[i]);
+            tg(&mut buf, &h.epass[i]);
+            tg(&mut buf, &h.eos[i]);
+            tmp(&mut buf, h.tmp_elem, h.n_elems, 2, a, b);
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |_| st.k_eos(a..b));
+                buf.body(move |_| st.k_eos(a..b));
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
 
         // 13. UpdateVolumesForElems.
         for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
-            let mut deps = Self::deps_group(&h.eos[i], In);
-            deps.extend(Self::deps_group(&h.kin[i], AccessMode::InOut));
-            let mut fp = gfp(&h.eos[i]);
-            fp.extend(gfp(&h.kin[i]));
-            sub.submit(
-                TaskSpec::new("UpdateVolumesForElems")
-                    .depends(deps)
-                    .work(WorkDesc {
-                        flops: (b - a) as f64 * F_UPDVOL,
-                        footprint: fp,
-                    }),
-            );
+            buf.begin("UpdateVolumesForElems");
+            dg(&mut buf, &h.eos[i], In);
+            dg(&mut buf, &h.kin[i], InOut);
+            buf.flops((b - a) as f64 * F_UPDVOL);
+            tg(&mut buf, &h.eos[i]);
+            tg(&mut buf, &h.kin[i]);
+            buf.submit(sub);
         }
 
         // 8. courant: concurrent writes into the scratch vector.
         for (i, &(a, b)) in h.elem_slices.iter().enumerate() {
-            let mut deps = Self::deps_group(&h.eos[i], In);
-            deps.push(Depend::concurrent_write(h.scratch));
-            let mut fp = gfp(&h.eos[i]);
-            fp.push(HandleSlice {
+            buf.begin("CalcCourantConstraintForElems");
+            dg(&mut buf, &h.eos[i], In);
+            buf.dep(h.scratch, InOutSet)
+                .flops((b - a) as f64 * F_COURANT);
+            tg(&mut buf, &h.eos[i]);
+            buf.touch(HandleSlice {
                 handle: h.scratch,
                 offset: i as u64 * 8,
                 len: 8,
             });
-            let mut spec = TaskSpec::new("CalcCourantConstraintForElems")
-                .depends(deps)
-                .work(WorkDesc {
-                    flops: (b - a) as f64 * F_COURANT,
-                    footprint: fp,
-                });
             if want {
                 let st = self.state.clone().unwrap();
-                spec = spec.body(move |ctx| {
+                buf.body(move |ctx| {
                     let _ = ctx;
                     st.k_courant(a..b, i)
                 });
             }
-            sub.submit(spec);
+            buf.submit(sub);
         }
     }
 }

@@ -28,8 +28,8 @@ use ptdg_core::obs::{EventRecorder, EVENT_RING_CAPACITY};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::profile::{Span, SpanKind, Trace};
 use ptdg_core::rt::{
-    GraphInstance, HoldGate, InstanceOptions, PersistentInstance, ReadyQueues, ReadyTracker,
-    RtNode, RtProbe, SchedPolicy, ThrottleGate, REINSTANCE_BATCH,
+    GraphInstance, HoldGate, InstanceOptions, NodeRef, PersistentInstance, ReadyQueues,
+    ReadyTracker, RtProbe, SchedPolicy, ThrottleGate, REINSTANCE_BATCH,
 };
 use ptdg_core::task::{TaskId, TaskSpec};
 use ptdg_core::throttle::ThrottleConfig;
@@ -136,6 +136,8 @@ struct RankState {
     throttle: ThrottleGate,
     /// Instanced persistent graph after iteration 0 (kernel).
     pinst: Option<PersistentInstance>,
+    /// Recycled publish buffer for re-instanced iterations.
+    publish_buf: Vec<NodeRef>,
     /// Memory footprint per node id, resolved once at creation (the
     /// cost-model side table the kernel is agnostic of).
     blocks: Vec<Vec<BlockRange>>,
@@ -177,7 +179,7 @@ struct RankState {
 
 impl RankState {
     /// The live node for `id` in the current execution mode.
-    fn node(&self, id: u32) -> &Arc<RtNode> {
+    fn node(&self, id: u32) -> &NodeRef {
         if self.in_template_iter {
             self.pinst
                 .as_ref()
@@ -304,6 +306,7 @@ impl<'p> TaskSim<'p> {
                     gate: HoldGate::new(cfg.non_overlapped),
                     throttle: ThrottleGate::new(cfg.throttle),
                     pinst: None,
+                    publish_buf: Vec::new(),
                     blocks: Vec::new(),
                     prod: Prod::StartIter(0),
                     producer_helping: false,
@@ -479,14 +482,17 @@ impl<'p> TaskSim<'p> {
                 st.overhead_ns += cost.as_ns();
                 st.disc_busy_ns += cost.as_ns();
                 st.span(0, now, t_end, SpanKind::Discovery, "<reinstance>", iter);
-                let ready = st.pinst.as_ref().unwrap().publish_with(
+                let mut ready = std::mem::take(&mut st.publish_buf);
+                st.pinst.as_ref().unwrap().publish_into(
                     next..hi,
                     st.probe.as_ref(),
                     t_end.as_ns(),
+                    &mut ready,
                 );
-                for node in ready {
+                for node in ready.drain(..) {
                     self.activate(rank, node.id.0, None, t_end);
                 }
+                self.ranks[rank as usize].publish_buf = ready;
                 let st = &mut self.ranks[rank as usize];
                 if hi >= n0 {
                     st.prod = Prod::Barrier {
@@ -742,7 +748,7 @@ impl<'p> TaskSim<'p> {
     /// ready. Returns the number of successor releases performed (the
     /// quantity `per_release` is charged on).
     fn complete_node(&mut self, rank: u32, node: u32, by_core: Option<u32>, now: SimTime) -> usize {
-        let rt_node = Arc::clone(self.ranks[rank as usize].node(node));
+        let rt_node = self.ranks[rank as usize].node(node).clone();
         let probe = Arc::clone(&self.ranks[rank as usize].probe);
         let done =
             rt_node.complete_with(probe.as_ref(), by_core.unwrap_or(0) as usize, now.as_ns());

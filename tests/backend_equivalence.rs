@@ -9,6 +9,7 @@
 use proptest::prelude::*;
 use ptdg::cholesky::{CholeskyConfig, CholeskyTask};
 use ptdg::core::access::AccessMode;
+use ptdg::core::builder::SpecBuf;
 use ptdg::core::exec::{ExecConfig, ThreadsConfig};
 use ptdg::core::graph::GraphTemplate;
 use ptdg::core::handle::HandleSpace;
@@ -234,13 +235,17 @@ fn breakdowns_are_well_formed_on_both_backends() {
 const N_HANDLES: usize = 6;
 
 /// A random dependent-task program: per task, 1..=3 `(handle, mode)`
-/// depend items, replayed identically each iteration.
+/// depend items, replayed identically each iteration. `via_buf` selects
+/// the submission path: owned `TaskSpec` per task, or the recycled
+/// `SpecBuf` the zero-allocation hot path is built on — both must land
+/// byte-for-byte the same depend stream on the discovery engine.
 #[derive(Clone, Debug)]
 struct RandomProgram {
     space: HandleSpace,
     handles: Vec<ptdg::core::handle::DataHandle>,
     tasks: Vec<Vec<(usize, u8)>>,
     iters: u64,
+    via_buf: bool,
 }
 
 impl RandomProgram {
@@ -252,6 +257,14 @@ impl RandomProgram {
             handles,
             tasks,
             iters,
+            via_buf: false,
+        }
+    }
+
+    fn via_buf(tasks: Vec<Vec<(usize, u8)>>, iters: u64) -> RandomProgram {
+        RandomProgram {
+            via_buf: true,
+            ..RandomProgram::new(tasks, iters)
         }
     }
 }
@@ -275,18 +288,78 @@ impl RankProgram for RandomProgram {
         _iter: u64,
         sub: &mut dyn ptdg::core::builder::TaskSubmitter,
     ) {
+        let mut buf = SpecBuf::new();
         for deps in &self.tasks {
-            let mut spec = TaskSpec::new("t");
             let mut seen = Vec::new();
-            for &(h, m) in deps {
-                if seen.contains(&h) {
-                    continue; // one access per handle per task
+            if self.via_buf {
+                buf.begin("t");
+                for &(h, m) in deps {
+                    if seen.contains(&h) {
+                        continue; // one access per handle per task
+                    }
+                    seen.push(h);
+                    buf.dep(self.handles[h], mode_of(m));
                 }
-                seen.push(h);
-                spec = spec.depend(self.handles[h], mode_of(m));
+                buf.submit(sub);
+            } else {
+                let mut spec = TaskSpec::new("t");
+                for &(h, m) in deps {
+                    if seen.contains(&h) {
+                        continue;
+                    }
+                    seen.push(h);
+                    spec = spec.depend(self.handles[h], mode_of(m));
+                }
+                sub.submit(spec);
             }
-            sub.submit(spec);
         }
+    }
+}
+
+/// Run the same task stream through both submission paths on one backend
+/// and assert the discovered graphs are identical.
+fn assert_submission_paths_equivalent(
+    tasks: Vec<Vec<(usize, u8)>>,
+    iters: u64,
+    opts: OptConfig,
+    persistent: bool,
+) {
+    let spec_prog = RandomProgram::new(tasks.clone(), iters);
+    let buf_prog = RandomProgram::via_buf(tasks, iters);
+    for backend in ["threads", "sim"] {
+        let (a, b) = match backend {
+            "threads" => (
+                run(
+                    &spec_prog.space,
+                    &spec_prog,
+                    threads_backend(opts, persistent),
+                ),
+                run(
+                    &buf_prog.space,
+                    &buf_prog,
+                    threads_backend(opts, persistent),
+                ),
+            ),
+            _ => (
+                run(
+                    &spec_prog.space,
+                    &spec_prog,
+                    sim_backend(opts, persistent, 1),
+                ),
+                run(&buf_prog.space, &buf_prog, sim_backend(opts, persistent, 1)),
+            ),
+        };
+        assert_eq!(a.graphs().len(), b.graphs().len(), "{backend}: graph count");
+        for (rank, (gs, gb)) in a.graphs().iter().zip(b.graphs()).enumerate() {
+            assert_eq!(
+                signature(gs),
+                signature(gb),
+                "{backend} rank {rank}: TaskSpec and SpecBuf paths diverged"
+            );
+        }
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!(sa.tasks, sb.tasks, "{backend}: task counters");
+        assert_eq!(sa.depend_items, sb.depend_items, "{backend}: depend items");
     }
 }
 
@@ -316,5 +389,28 @@ proptest! {
     ) {
         let prog = RandomProgram::new(tasks, 2);
         assert_same_graphs(&prog.space, &prog, OptConfig::all(), true);
+    }
+
+    #[test]
+    fn specbuf_and_taskspec_paths_discover_identical_graphs(
+        tasks in prop::collection::vec(
+            prop::collection::vec((0..N_HANDLES, 0..4u8), 1..=3),
+            1..=24,
+        ),
+        iters in 1..=2u64,
+        all_opts in 0..2u8,
+    ) {
+        let opts = if all_opts == 1 { OptConfig::all() } else { OptConfig::none() };
+        assert_submission_paths_equivalent(tasks, iters, opts, false);
+    }
+
+    #[test]
+    fn specbuf_and_taskspec_persistent_paths_discover_identical_graphs(
+        tasks in prop::collection::vec(
+            prop::collection::vec((0..N_HANDLES, 0..4u8), 1..=3),
+            1..=16,
+        ),
+    ) {
+        assert_submission_paths_equivalent(tasks, 2, OptConfig::all(), true);
     }
 }
