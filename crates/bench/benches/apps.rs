@@ -18,6 +18,7 @@ fn executor() -> Executor {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::mpc_default(),
         profile: false,
+        record_events: false,
     })
 }
 

@@ -28,6 +28,7 @@ fn bench_policies(c: &mut Criterion) {
                     policy,
                     throttle: ThrottleConfig::unbounded(),
                     profile: false,
+                    record_events: false,
                 });
                 b.iter(|| {
                     let mut session = exec.session(OptConfig::all());
@@ -69,6 +70,7 @@ fn bench_queue_backends(c: &mut Criterion) {
                         policy: SchedPolicy::DepthFirst,
                         throttle: ThrottleConfig::unbounded(),
                         profile: false,
+                        record_events: false,
                     },
                     backend,
                 );
@@ -109,6 +111,7 @@ fn bench_persistent_region(c: &mut Criterion) {
             policy: SchedPolicy::DepthFirst,
             throttle: ThrottleConfig::unbounded(),
             profile: false,
+            record_events: false,
         });
         let mut region = exec.persistent_region(OptConfig::all());
         let mut iter = 0u64;

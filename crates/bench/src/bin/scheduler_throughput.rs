@@ -83,6 +83,7 @@ fn e2e_tasks_per_s(backend: QueueBackend, workers: usize, n: usize) -> f64 {
                 policy: SchedPolicy::DepthFirst,
                 throttle: ThrottleConfig::unbounded(),
                 profile: false,
+                record_events: false,
             },
             backend,
         );

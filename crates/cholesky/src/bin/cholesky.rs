@@ -6,7 +6,7 @@
 //! ```
 
 use ptdg_cholesky::{CholeskyConfig, CholeskyTask};
-use ptdg_core::exec::{ExecConfig, Executor, SchedPolicy};
+use ptdg_core::exec::{run_program, ExecConfig, Executor, SchedPolicy, ThreadsConfig};
 use ptdg_core::obs::{chrome_trace, critical_path};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::throttle::ThrottleConfig;
@@ -21,6 +21,7 @@ fn main() {
     let mut workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut ranks = 1u32;
     let mut trace: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
@@ -32,6 +33,7 @@ fn main() {
             ("--repeats", Some(v)) => repeats = v,
             ("--seed", Some(v)) => seed = v,
             ("--workers", Some(v)) => workers = v as usize,
+            ("--ranks", Some(v)) => ranks = v as u32,
             ("--trace", _) => match argv.get(k + 1) {
                 Some(p) => trace = Some(PathBuf::from(p)),
                 None => {
@@ -42,7 +44,7 @@ fn main() {
             ("-h", _) | ("--help", _) => {
                 eprintln!(
                     "usage: cholesky [--nt T] [--b B] [--repeats R] [--seed S] [--workers W] \
-                     [--trace out.json]"
+                     [--ranks N] [--trace out.json]"
                 );
                 return;
             }
@@ -54,6 +56,51 @@ fn main() {
         k += 2;
     }
 
+    if ranks > 1 {
+        // Cost-model mode: the 1-D cyclic panel distribution on concurrent
+        // rank pools, panel broadcasts through the in-process network.
+        let cfg = CholeskyConfig {
+            n_ranks: ranks,
+            ..CholeskyConfig::single(nt, b, repeats)
+        };
+        let prog = CholeskyTask::new(cfg);
+        let t0 = std::time::Instant::now();
+        let report = run_program(
+            &prog,
+            &ThreadsConfig {
+                exec: ExecConfig {
+                    n_workers: workers,
+                    policy: SchedPolicy::DepthFirst,
+                    throttle: ThrottleConfig::mpc_default(),
+                    profile: false,
+                    record_events: false,
+                },
+                opts: OptConfig::all(),
+                ..Default::default()
+            },
+        );
+        println!(
+            "Cholesky {n}x{n} ({nt}x{nt} tiles), {repeats} repeats on {r} ranks x \
+             {workers} workers (cost model): {} tasks, {} comms posted / {} completed, {:.3}s",
+            report.counters.tasks_completed,
+            report.counters.comms_posted,
+            report.counters.comms_completed,
+            t0.elapsed().as_secs_f64(),
+            n = nt * b,
+            r = report.n_ranks,
+        );
+        for (r, c) in report.per_rank_counters.iter().enumerate() {
+            println!(
+                "  rank {r}: {} tasks, {} posted / {} completed, {} unexpected",
+                c.tasks_completed, c.comms_posted, c.comms_completed, c.unexpected_msgs
+            );
+        }
+        if let Some(err) = &report.comm_error {
+            eprintln!("{err}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let cfg = CholeskyConfig::single(nt, b, repeats);
     let prog = CholeskyTask::with_matrix(cfg.clone(), seed);
     let exec = Executor::new(ExecConfig {
@@ -61,6 +108,7 @@ fn main() {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::mpc_default(),
         profile: trace.is_some(),
+        record_events: false,
     });
     let t0 = std::time::Instant::now();
     let mut region = exec.persistent_region(OptConfig::all());

@@ -1,0 +1,108 @@
+//! Structured error for communication that can never complete.
+//!
+//! Shared by both back-ends: the Threads comm engine ([`super::CommWorld`])
+//! reports it when its deadlock detector fires or when a run finishes with
+//! unconsumed messages, and `ptdg-simrt` converts the DES network's
+//! unmatched-request maps into the same shape instead of asserting.
+
+use std::fmt;
+
+/// Sentinel peer for operations with no single peer (collectives).
+pub const NO_PEER: u32 = u32::MAX;
+
+/// One communication request (or message) that could not be matched.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnmatchedComm {
+    /// Rank that owns the request (the poster; for an orphaned message,
+    /// the sender).
+    pub rank: u32,
+    /// The peer the request names ([`NO_PEER`] for collectives).
+    pub peer: u32,
+    /// Match tag (for collectives: the dissemination round reached).
+    pub tag: u32,
+    /// Operation kind, e.g. `"Isend"`, `"Irecv"`, `"Iallreduce"`.
+    pub op: &'static str,
+}
+
+impl fmt::Display for UnmatchedComm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.peer == NO_PEER {
+            write!(f, "rank {} {} (round {})", self.rank, self.op, self.tag)
+        } else {
+            write!(
+                f,
+                "rank {} {} peer {} tag {}",
+                self.rank, self.op, self.peer, self.tag
+            )
+        }
+    }
+}
+
+/// A program posted communication requests that can never complete: the
+/// run either deadlocked waiting on them (every rank idle with requests
+/// pending) or finished with messages nobody received.
+///
+/// The triples name every endpoint the engine could still see: pending
+/// receives, unmatched (rendezvous or undelivered) sends, and collectives
+/// stuck mid-dissemination.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommError {
+    /// Every unmatched request/message, in rank order.
+    pub unmatched: Vec<UnmatchedComm>,
+}
+
+impl CommError {
+    /// True if nothing was actually unmatched (should not normally be
+    /// constructed in that state).
+    pub fn is_empty(&self) -> bool {
+        self.unmatched.is_empty()
+    }
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unmatched communication requests ({}): ",
+            self.unmatched.len()
+        )?;
+        for (i, u) in self.unmatched.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{u}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CommError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_triples() {
+        let e = CommError {
+            unmatched: vec![
+                UnmatchedComm {
+                    rank: 0,
+                    peer: 1,
+                    tag: 7,
+                    op: "Irecv",
+                },
+                UnmatchedComm {
+                    rank: 2,
+                    peer: NO_PEER,
+                    tag: 1,
+                    op: "Iallreduce",
+                },
+            ],
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 0 Irecv peer 1 tag 7"), "{s}");
+        assert!(s.contains("rank 2 Iallreduce (round 1)"), "{s}");
+        assert!(s.starts_with("unmatched communication requests (2)"), "{s}");
+    }
+}

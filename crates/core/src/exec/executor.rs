@@ -7,13 +7,14 @@
 
 use super::persistent::PersistentRegion;
 use super::session::Session;
+use crate::comm::{CommConfig, CommError, CommWorld};
 use crate::obs::{EventRecorder, ObsReport};
 use crate::opts::OptConfig;
 use crate::profile::{Span, SpanKind, Trace};
 use crate::rt::{HoldGate, NodeRef, Parker, ReadyQueues, ReadyTracker, RtProbe};
 use crate::task::TaskCtx;
 use crate::throttle::{ThrottleConfig, ThrottleGate};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -31,6 +32,9 @@ pub struct ExecConfig {
     pub throttle: ThrottleConfig,
     /// Record per-task spans for post-mortem analysis.
     pub profile: bool,
+    /// Record the lifecycle event stream even without span profiling
+    /// (events are cheap; spans cost two clock reads per task).
+    pub record_events: bool,
 }
 
 impl Default for ExecConfig {
@@ -42,8 +46,15 @@ impl Default for ExecConfig {
             policy: SchedPolicy::DepthFirst,
             throttle: ThrottleConfig::default(),
             profile: false,
+            record_events: false,
         }
     }
+}
+
+/// The pool's slot in a [`CommWorld`]: which world, and as which rank.
+pub(crate) struct CommCtx {
+    pub world: Arc<CommWorld>,
+    pub rank: u32,
 }
 
 pub(crate) struct Pool {
@@ -56,12 +67,17 @@ pub(crate) struct Pool {
     /// Eventcount all idle threads (workers and the waiting producer)
     /// block on instead of sleep-polling. Wake discipline: `notify_one`
     /// per task pushed, `notify_all` on one-to-many events — gate
-    /// release, reaching quiescence, shutdown.
-    pub parker: Parker,
+    /// release, reaching quiescence, shutdown, and (via the registered
+    /// waker) comm deliveries from peer ranks. `Arc` so the comm world
+    /// can hold it past this pool's lifetime.
+    pub parker: Arc<Parker>,
     /// Park/unpark telemetry (Relaxed: stats only).
     pub parks: AtomicU64,
     pub unparks: AtomicU64,
     pub profile: bool,
+    /// Lifecycle events are being recorded (`profile || record_events`):
+    /// the clock must be read even where spans are off.
+    pub record: bool,
     /// Lock-free span/event sink; one lane per worker plus one for the
     /// producer (last). Implements [`RtProbe`], so it is also the probe
     /// the kernel emit sites narrate through.
@@ -73,6 +89,19 @@ pub(crate) struct Pool {
     pub throttle_stall_ns: AtomicU64,
     /// Communication tasks whose side effect was posted.
     pub comms_posted: AtomicU64,
+    /// Detached requests whose completion was drained by this pool.
+    pub comms_completed: AtomicU64,
+    /// Summed post-to-completion latency, nanoseconds.
+    pub comm_wait_ns: AtomicU64,
+    /// Tasks between queue pop and completion, plus progress sweeps
+    /// holding popped comm completions. Incremented *before* the pop
+    /// (SeqCst on both sides): the deadlock sweep reads queue emptiness
+    /// first and this second, so a task in motion is never invisible to
+    /// both.
+    pub in_flight: AtomicU32,
+    /// This pool's slot in the communication world (a private 1-rank
+    /// world unless built via [`Executor::with_comm_world`]).
+    pub comm: CommCtx,
     n_workers: usize,
 }
 
@@ -81,9 +110,12 @@ impl Pool {
         self.start.elapsed().as_nanos() as u64
     }
 
-    /// Clock read for lifecycle narration: free when profiling is off.
+    /// Clock read for lifecycle narration: free when nothing records.
+    /// Gated on `record`, not `profile` — event-only tracing must still
+    /// see real timestamps (the old `profile`-only gate stamped every
+    /// event 0 when spans were off).
     fn probe_now(&self) -> u64 {
-        if self.profile {
+        if self.record {
             self.now_ns()
         } else {
             0
@@ -138,17 +170,26 @@ impl Pool {
     }
 
     /// Find a ready task from the perspective of worker `idx`
-    /// (`None` = the producer).
+    /// (`None` = the producer). A successful find transfers an
+    /// `in_flight` token to the caller; [`Pool::run_task`] releases it.
     pub fn find_task(&self, idx: Option<usize>) -> Option<NodeRef> {
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
         let found = self.queues.pop_with(idx, &*self.recorder, self.probe_now());
         if found.is_some() {
             self.tracker.scheduled();
+        } else {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
         }
         found.map(|(node, _stolen)| node)
     }
 
     /// Execute one task on behalf of `worker_idx` (the producer uses index
     /// `n_workers`); `local` is the deque for newly-ready successors.
+    ///
+    /// A task carrying a [`crate::workdesc::CommOp`] detaches (paper
+    /// Listing 1): its body runs, the request is posted to the comm
+    /// world, and the core is released immediately — the node completes
+    /// later, from [`Pool::progress_comm`], when the request matches.
     pub fn run_task(&self, node: NodeRef, local: Option<usize>, worker_idx: usize) {
         let ctx = TaskCtx {
             task: node.id,
@@ -158,11 +199,11 @@ impl Pool {
             iter: node.iter.load(Ordering::Relaxed),
             worker: worker_idx,
         };
-        let t0 = if self.profile { self.now_ns() } else { 0 };
+        let t0 = self.probe_now();
         if let Some(body) = &node.body {
             body(&ctx);
         }
-        let t1 = if self.profile { self.now_ns() } else { 0 };
+        let t1 = self.probe_now();
         if self.profile {
             self.recorder.span(Span {
                 worker: worker_idx as u32,
@@ -173,19 +214,80 @@ impl Pool {
                 iter: ctx.iter,
             });
         }
-        if node.comm.is_some() {
+        if let Some(op) = node.comm {
             // Relaxed: statistic, read after the run quiesces.
             self.comms_posted.fetch_add(1, Ordering::Relaxed);
+            let req = self.comm.world.alloc_req();
+            // Narrate the post before handing the node over: the request
+            // can match the instant it is posted, and CommCompleted must
+            // not beat CommPosted into the event stream.
+            self.recorder.comm_posted(node.id, req, worker_idx, t1);
+            self.comm
+                .world
+                .post(self.comm.rank, node, op, self.now_ns(), req);
+            // Post happened-before this release: the posted envelope's
+            // epoch bump is visible to any deadlock sweep that sees us
+            // go idle.
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            return;
         }
         for succ in node.complete_with(&*self.recorder, worker_idx, t1).ready {
             self.make_ready(succ, local);
         }
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
         if self.tracker.completed() {
             // Last live task: wake everything blocked on quiescence (the
             // producer in `wait_all`/`taskwait`/persistent barriers, and
             // workers waiting out a shutdown drain).
             self.parker.notify_all();
         }
+    }
+
+    /// Drive the communication engine from an idle path: match arrived
+    /// envelopes, then complete every detached node whose request is
+    /// done. Returns whether anything moved. `local` is the deque for
+    /// successors the completions release (`None` = producer).
+    pub fn progress_comm(&self, local: Option<usize>) -> bool {
+        // The in-flight bracket spans pop-to-completion: a completion in
+        // hand is invisible to the deadlock sweep's queue-emptiness
+        // check, so the busy token has to cover it.
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
+        let mut any = self.comm.world.progress(self.comm.rank);
+        while let Some(done) = self.comm.world.pop_completion(self.comm.rank) {
+            any = true;
+            self.comms_completed.fetch_add(1, Ordering::Relaxed);
+            self.comm_wait_ns.fetch_add(
+                self.now_ns().saturating_sub(done.posted_ns),
+                Ordering::Relaxed,
+            );
+            // Off-core completion: no worker "ran" this transition, so
+            // the event carries no core; the request id ties it back to
+            // its CommPosted.
+            self.recorder
+                .comm_completed(done.node.id, done.req, usize::MAX, self.probe_now());
+            let core = local.unwrap_or(self.n_workers);
+            for succ in done
+                .node
+                .complete_with(&*self.recorder, core, self.probe_now())
+                .ready
+            {
+                self.make_ready(succ, local);
+            }
+            if self.tracker.completed() {
+                self.parker.notify_all();
+            }
+        }
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+        any
+    }
+
+    /// Report this rank fully idle to the deadlock detector. Only
+    /// meaningful right after `find_task` and `progress_comm` both came
+    /// up empty with no task in flight. Returns true if the report
+    /// completed a deadlock declaration (forced completions are queued;
+    /// the caller should drain instead of parking).
+    pub fn comm_stall(&self) -> bool {
+        self.in_flight.load(Ordering::SeqCst) == 0 && self.comm.world.note_stall(self.comm.rank)
     }
 
     /// Try to execute one task from outside the worker pool (producer
@@ -203,13 +305,21 @@ impl Pool {
     /// sleep-polling — when no work is available. The producer-side
     /// implicit barrier behind `wait_all`, `taskwait`, and persistent
     /// iteration boundaries.
+    ///
+    /// This is also where the rank reports comm stalls: quiescence can be
+    /// unreachable when detached requests wait on peers, so when the
+    /// barrier is fully idle (no task found, no comm progress, nothing in
+    /// flight) it tells the world — if every rank is in the same state,
+    /// the detector fires and force-drains, letting the barrier exit with
+    /// a [`CommError`] instead of hanging.
     pub fn barrier(&self) {
+        let mut reported = false;
         loop {
-            if self.help_once() {
+            if self.help_once() || self.progress_comm(None) {
                 continue;
             }
             if self.tracker.quiescent() {
-                return;
+                break;
             }
             // Two-phase park (see `worker_loop`): re-check quiescence
             // and the queues after taking the ticket, so neither the
@@ -217,14 +327,24 @@ impl Pool {
             // notify it performs invalidates our ticket.
             let ticket = self.parker.prepare();
             if self.tracker.quiescent() {
-                return;
+                break;
             }
-            if self.help_once() {
+            if self.help_once() || self.progress_comm(None) {
                 continue;
+            }
+            reported = true;
+            if self.comm_stall() {
+                continue; // detector fired: drain the forced completions
             }
             self.parks.fetch_add(1, Ordering::Relaxed);
             self.parker.park(ticket);
             self.unparks.fetch_add(1, Ordering::Relaxed);
+        }
+        if reported {
+            // Leaving the barrier for more discovery: clear the stall
+            // flag eagerly (stale reports are also invalidated by the
+            // epoch, this just keeps the detector's view tidy).
+            self.comm.world.note_active(self.comm.rank);
         }
     }
 }
@@ -235,21 +355,37 @@ fn worker_loop(pool: Arc<Pool>, idx: usize) {
             pool.run_task(node, Some(idx), idx);
             continue;
         }
+        if pool.progress_comm(Some(idx)) {
+            continue;
+        }
         // Two-phase park: take a ticket, re-check every wake condition,
         // then sleep. Any notify between `prepare` and `park` makes
         // `park` return immediately, so a task pushed (or shutdown
-        // raised) in that window cannot be missed.
+        // raised) in that window cannot be missed. Comm deliveries
+        // notify through the waker the pool registered with the world.
         let ticket = pool.parker.prepare();
         if let Some(node) = pool.find_task(Some(idx)) {
             pool.run_task(node, Some(idx), idx);
+            continue;
+        }
+        if pool.progress_comm(Some(idx)) {
             continue;
         }
         // Exit only once the pool is both shutting down *and* drained:
         // `quiescent` (not just an empty queue) means no in-flight task
         // can spawn more work, so nothing is abandoned by leaving.
         // Acquire pairs with the Release store in `Executor::drop`.
-        if pool.shutdown.load(Ordering::Acquire) && pool.tracker.quiescent() {
-            return;
+        if pool.shutdown.load(Ordering::Acquire) {
+            if pool.tracker.quiescent() {
+                return;
+            }
+            // Shutting down but not quiescent: only detached requests
+            // can be outstanding (the producer is gone). Report the
+            // stall so an unmatched request becomes a CommError drain
+            // instead of a hung join.
+            if pool.comm_stall() {
+                continue;
+            }
         }
         pool.parks.fetch_add(1, Ordering::Relaxed);
         pool.parker.park(ticket);
@@ -275,25 +411,61 @@ impl Executor {
     /// Spawn an executor with an explicit [`QueueBackend`] — the mutex
     /// baseline is kept selectable so `scheduler_throughput` (and any
     /// future A/B) can measure the lock-free path against it.
+    ///
+    /// The executor is rank 0 of its own private 1-rank [`CommWorld`], so
+    /// detach semantics hold unconditionally: a comm task always releases
+    /// its core at post time, even on a lone executor.
     pub fn with_queue_backend(cfg: ExecConfig, backend: QueueBackend) -> Executor {
+        let world = Arc::new(CommWorld::new(1, CommConfig::default()));
+        Self::with_comm_world(cfg, backend, world, 0)
+    }
+
+    /// Spawn an executor as rank `rank` of a shared [`CommWorld`] — one
+    /// pool per rank, all inside this process, exchanging messages
+    /// through the world's mailboxes (the thread back-end's multi-rank
+    /// mode).
+    pub fn with_comm_world(
+        cfg: ExecConfig,
+        backend: QueueBackend,
+        world: Arc<CommWorld>,
+        rank: u32,
+    ) -> Executor {
         assert!(cfg.n_workers >= 1, "need at least one worker");
+        assert!(rank < world.n_ranks(), "rank out of range for comm world");
+        let record = cfg.profile || cfg.record_events;
         let pool = Arc::new(Pool {
             queues: ReadyQueues::with_backend(cfg.policy, cfg.n_workers, backend),
             tracker: Arc::new(ReadyTracker::new()),
             gate: HoldGate::new(false),
             throttle: ThrottleGate::new(cfg.throttle),
             shutdown: AtomicBool::new(false),
-            parker: Parker::new(),
+            parker: Arc::new(Parker::new()),
             parks: AtomicU64::new(0),
             unparks: AtomicU64::new(0),
             profile: cfg.profile,
-            recorder: Arc::new(EventRecorder::new(cfg.n_workers + 1, cfg.profile)),
+            record,
+            recorder: Arc::new(EventRecorder::new(cfg.n_workers + 1, record)),
             start: Instant::now(),
             last_discovery_ns: AtomicU64::new(0),
             throttle_stalls: AtomicU64::new(0),
             throttle_stall_ns: AtomicU64::new(0),
             comms_posted: AtomicU64::new(0),
+            comms_completed: AtomicU64::new(0),
+            comm_wait_ns: AtomicU64::new(0),
+            in_flight: AtomicU32::new(0),
+            comm: CommCtx {
+                world: Arc::clone(&world),
+                rank,
+            },
             n_workers: cfg.n_workers,
+        });
+        // Busy probe via Weak: the pool owns an Arc to the world, so the
+        // world must not own one back (the closure outlives the pool on
+        // shared worlds; an upgrade failure just means "not busy").
+        let weak = Arc::downgrade(&pool);
+        world.register_rank(rank, Arc::clone(&pool.parker), move || {
+            weak.upgrade()
+                .is_some_and(|p| p.in_flight.load(Ordering::SeqCst) != 0 || p.tracker.ready() != 0)
         });
         let workers = (0..cfg.n_workers)
             .map(|idx| {
@@ -319,6 +491,22 @@ impl Executor {
 
     pub(crate) fn pool(&self) -> &Arc<Pool> {
         &self.pool
+    }
+
+    /// The communication world this executor posts into.
+    pub fn comm_world(&self) -> &Arc<CommWorld> {
+        &self.pool.comm.world
+    }
+
+    /// This executor's rank within its communication world.
+    pub fn comm_rank(&self) -> u32 {
+        self.pool.comm.rank
+    }
+
+    /// The error recorded by the world's deadlock detector, if it fired
+    /// (unmatched requests were force-completed to let the run drain).
+    pub fn comm_error(&self) -> Option<CommError> {
+        self.pool.comm.world.take_error()
     }
 
     /// Start a discovery/execution session (overlapped: tasks run while
@@ -376,6 +564,9 @@ impl Executor {
         c.throttle_stalls = self.pool.throttle_stalls.load(Ordering::Relaxed);
         c.throttle_stall_ns = self.pool.throttle_stall_ns.load(Ordering::Relaxed);
         c.comms_posted = self.pool.comms_posted.load(Ordering::Relaxed);
+        c.comms_completed = self.pool.comms_completed.load(Ordering::Relaxed);
+        c.comm_wait_ns = self.pool.comm_wait_ns.load(Ordering::Relaxed);
+        c.unexpected_msgs = self.pool.comm.world.unexpected_count(self.pool.comm.rank);
         let (attempts, successes) = self.pool.queues.steal_stats();
         c.steal_attempts = attempts;
         c.steal_successes = successes;

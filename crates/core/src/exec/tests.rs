@@ -15,6 +15,7 @@ fn exec(workers: usize) -> Executor {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::unbounded(),
         profile: false,
+        record_events: false,
     })
 }
 
@@ -155,6 +156,7 @@ fn breadth_first_policy_completes() {
         policy: SchedPolicy::BreadthFirst,
         throttle: ThrottleConfig::unbounded(),
         profile: false,
+        record_events: false,
     });
     let n = Arc::new(AtomicUsize::new(0));
     let mut s = e.session(OptConfig::all());
@@ -236,6 +238,7 @@ fn throttling_bounds_live_tasks() {
             max_live: Some(8),
         },
         profile: false,
+        record_events: false,
     });
     let peak = Arc::new(AtomicUsize::new(0));
     let mut s = e.session(OptConfig::all());
@@ -348,6 +351,7 @@ fn trace_records_work_spans() {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::unbounded(),
         profile: true,
+        record_events: false,
     });
     let mut s = e.session(OptConfig::all());
     for _ in 0..10 {

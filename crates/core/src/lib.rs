@@ -79,6 +79,7 @@
 
 pub mod access;
 pub mod builder;
+pub mod comm;
 pub mod data;
 pub mod exec;
 pub mod graph;
@@ -97,6 +98,7 @@ pub use rt::throttle;
 
 pub use access::{AccessMode, Depend};
 pub use builder::{IterationBuilder, SpecBuf, TaskSubmitter};
+pub use comm::{CommConfig, CommError, CommWorld, UnmatchedComm};
 pub use exec::{ExecConfig, Executor, SchedPolicy, Session};
 pub use handle::{DataHandle, HandleSpace};
 pub use opts::OptConfig;

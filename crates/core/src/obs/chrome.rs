@@ -2,10 +2,14 @@
 //!
 //! One process, one track per worker, a dedicated producer/discovery
 //! track, plus counter tracks for the live and ready task populations
-//! derived from the lifecycle event stream. `"X"` complete events carry
-//! microsecond `ts`/`dur` (the format's convention); the kernel counters
-//! ride along in `otherData` so a trace file is a self-contained record
-//! of the run.
+//! derived from the lifecycle event stream. Detached communication
+//! requests are exported as async `"b"`/`"e"` pairs keyed by request id:
+//! the begin rides the posting core's track at CommPosted, the end lands
+//! at CommCompleted — visibly *after* the core moved on to other work,
+//! which is the detach contract in picture form. `"X"` complete events
+//! carry microsecond `ts`/`dur` (the format's convention); the kernel
+//! counters ride along in `otherData` so a trace file is a
+//! self-contained record of the run.
 
 use super::counters::RtCounters;
 use super::event::{EventKind, RtEvent};
@@ -120,6 +124,24 @@ pub fn chrome_trace(trace: &Trace, events: &[RtEvent], counters: &RtCounters) ->
         ]));
     }
 
+    for e in events {
+        let ph = match e.kind {
+            EventKind::CommPosted => "b",
+            EventKind::CommCompleted => "e",
+            _ => continue,
+        };
+        ev.push(obj([
+            ("ph", ph.into()),
+            ("pid", 0usize.into()),
+            ("tid", usize::min(e.core as usize, disc_tid).into()),
+            ("ts", us(e.t_ns)),
+            ("name", "comm request".into()),
+            ("cat", "comm".into()),
+            ("id", (e.aux as usize).into()),
+            ("args", obj([("task", (e.id.0 as usize).into())])),
+        ]));
+    }
+
     ev.extend(counter_track(
         events,
         "live_tasks",
@@ -174,31 +196,18 @@ mod tests {
             discovery_ns: 60,
             span_ns: 100,
         };
+        let ev = |t_ns, core, kind| RtEvent {
+            t_ns,
+            aux: u64::MAX,
+            id: TaskId(0),
+            core,
+            kind,
+        };
         let events = vec![
-            RtEvent {
-                t_ns: 0,
-                id: TaskId(0),
-                core: u32::MAX,
-                kind: EventKind::Created,
-            },
-            RtEvent {
-                t_ns: 10,
-                id: TaskId(0),
-                core: u32::MAX,
-                kind: EventKind::Ready,
-            },
-            RtEvent {
-                t_ns: 20,
-                id: TaskId(0),
-                core: 0,
-                kind: EventKind::Scheduled,
-            },
-            RtEvent {
-                t_ns: 100,
-                id: TaskId(0),
-                core: 0,
-                kind: EventKind::Completed,
-            },
+            ev(0, u32::MAX, EventKind::Created),
+            ev(10, u32::MAX, EventKind::Ready),
+            ev(20, 0, EventKind::Scheduled),
+            ev(100, 0, EventKind::Completed),
         ];
         let doc = chrome_trace(&trace, &events, &RtCounters::default()).render();
         assert!(doc.contains("\"traceEvents\""));
@@ -224,6 +233,7 @@ mod tests {
         let events: Vec<RtEvent> = (0..100_000u32)
             .map(|i| RtEvent {
                 t_ns: i as u64,
+                aux: u64::MAX,
                 id: TaskId(i),
                 core: u32::MAX,
                 kind: EventKind::Created,

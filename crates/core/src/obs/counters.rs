@@ -44,6 +44,20 @@ pub struct RtCounters {
     pub persistent_reuses: u64,
     /// Communication operations posted.
     pub comms_posted: u64,
+    /// Communication requests that completed (matched / reduced). Equal
+    /// to `comms_posted` on a well-formed run; forced completions from
+    /// deadlock resolution still count, the accompanying `CommError` is
+    /// the signal that they were not real matches.
+    pub comms_completed: u64,
+    /// Total nanoseconds between posting a request and its completion,
+    /// summed over requests (post-to-match latency mass).
+    pub comm_wait_ns: u64,
+    /// Messages that arrived before their receive was posted and had to
+    /// be parked in the unexpected-message queue. Backend-specific
+    /// diagnostic: the threads engine also routes collective round
+    /// messages through the mailboxes, the DES network does not, so this
+    /// is *not* part of the cross-backend equivalence contract.
+    pub unexpected_msgs: u64,
     /// Steal probes against other cores' deques (thread back-end: the
     /// lock-free steal loop; simulator: victim scans).
     pub steal_attempts: u64,
@@ -91,6 +105,9 @@ impl RtCounters {
         self.gate_held += o.gate_held;
         self.persistent_reuses += o.persistent_reuses;
         self.comms_posted += o.comms_posted;
+        self.comms_completed += o.comms_completed;
+        self.comm_wait_ns += o.comm_wait_ns;
+        self.unexpected_msgs += o.unexpected_msgs;
         self.steal_attempts += o.steal_attempts;
         self.steal_successes += o.steal_successes;
         self.parks += o.parks;
@@ -119,6 +136,9 @@ impl RtCounters {
             ("gate_held", self.gate_held),
             ("persistent_reuses", self.persistent_reuses),
             ("comms_posted", self.comms_posted),
+            ("comms_completed", self.comms_completed),
+            ("comm_wait_ns", self.comm_wait_ns),
+            ("unexpected_msgs", self.unexpected_msgs),
             ("steal_attempts", self.steal_attempts),
             ("steal_successes", self.steal_successes),
             ("parks", self.parks),
@@ -173,6 +193,6 @@ mod tests {
         assert_eq!(c.tasks_created, 103, "tasks + redirects");
         assert_eq!(c.edges_created, 180);
         assert_eq!(c.dup_skipped, 12);
-        assert_eq!(c.pairs().len(), 22, "every field is exported");
+        assert_eq!(c.pairs().len(), 25, "every field is exported");
     }
 }

@@ -204,6 +204,7 @@ mod tests {
     fn sched(id: u32, t: u64) -> RtEvent {
         RtEvent {
             t_ns: t,
+            aux: u64::MAX,
             id: TaskId(id),
             core: 0,
             kind: EventKind::Scheduled,
@@ -212,6 +213,7 @@ mod tests {
     fn comp(id: u32, t: u64) -> RtEvent {
         RtEvent {
             t_ns: t,
+            aux: u64::MAX,
             id: TaskId(id),
             core: 0,
             kind: EventKind::Completed,

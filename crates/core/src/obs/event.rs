@@ -2,12 +2,15 @@
 //!
 //! Every task passes through the same state machine regardless of
 //! back-end; these events are the kernel's narration of that machine:
-//! `Created → Ready → Scheduled → [CommPosted →] Completed` for ordinary
-//! tasks, `Created → Ready → Completed` for redirect nodes (they carry no
-//! body and complete inline the moment their dependences are satisfied).
-//! The emit sites live exclusively in `crate::rt` — back-ends only supply
-//! the clock — so the thread executor and the DES simulator produce the
-//! identical per-task sequence.
+//! `Created → Ready → Scheduled → Completed` for ordinary tasks,
+//! `Created → Ready → Scheduled → CommPosted → CommCompleted → Completed`
+//! for detached comm tasks (the core is released at CommPosted; the
+//! request id in `aux` ties the pair together), and
+//! `Created → Ready → Completed` for redirect nodes (they carry no body
+//! and complete inline the moment their dependences are satisfied). The
+//! lifecycle emit sites live in `crate::rt`, the two comm events in each
+//! back-end's network layer — so the thread executor and the DES
+//! simulator produce the identical per-task sequence.
 
 use crate::task::TaskId;
 
@@ -20,9 +23,13 @@ pub enum EventKind {
     Ready,
     /// A core dequeued the task.
     Scheduled,
-    /// The task's communication side effect was posted (detached task).
+    /// The task's communication side effect was posted (detached task
+    /// releases its core).
     CommPosted,
-    /// The task finished (for comm tasks: the request completed).
+    /// The posted communication request matched/completed off-core.
+    CommCompleted,
+    /// The task finished (for comm tasks: right after the request
+    /// completed, from the progress path).
     Completed,
 }
 
@@ -34,22 +41,28 @@ impl EventKind {
             EventKind::Ready => "ready",
             EventKind::Scheduled => "scheduled",
             EventKind::CommPosted => "comm_posted",
+            EventKind::CommCompleted => "comm_completed",
             EventKind::Completed => "completed",
         }
     }
 }
 
-/// One lifecycle event. 24 bytes; the recorder's ring slots are sized so
+/// One lifecycle event. 32 bytes; the recorder's ring slots are sized so
 /// a multi-million-task run records without allocating.
 #[derive(Clone, Copy, Debug)]
 pub struct RtEvent {
     /// Timestamp, nanoseconds (wall offset or virtual time — the back-end
     /// supplies the clock, the recorder optionally rebases).
     pub t_ns: u64,
+    /// Event payload: the communication request id for
+    /// `CommPosted`/`CommCompleted` (correlates the pair and the Chrome
+    /// trace's async arrows); `u64::MAX` otherwise.
+    pub aux: u64,
     /// The task.
     pub id: TaskId,
-    /// Core involved (scheduling/completion); `u32::MAX` when no core is
-    /// meaningful (creation, readiness detected by the producer).
+    /// Core involved (scheduling/completion/posting); `u32::MAX` when no
+    /// core is meaningful (creation, producer-side readiness, off-core
+    /// request completion).
     pub core: u32,
     /// What happened.
     pub kind: EventKind,
@@ -73,6 +86,7 @@ mod tests {
     fn sequences_group_by_id_in_stream_order() {
         let ev = |id: u32, kind| RtEvent {
             t_ns: 0,
+            aux: u64::MAX,
             id: TaskId(id),
             core: u32::MAX,
             kind,

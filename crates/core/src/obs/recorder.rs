@@ -148,9 +148,15 @@ impl EventRecorder {
 
     #[inline]
     fn record(&self, kind: EventKind, id: TaskId, core: u32, t_ns: u64) {
+        self.record_aux(kind, id, core, t_ns, u64::MAX);
+    }
+
+    #[inline]
+    fn record_aux(&self, kind: EventKind, id: TaskId, core: u32, t_ns: u64, aux: u64) {
         if let Some(ring) = &self.events {
             ring.push(RtEvent {
                 t_ns,
+                aux,
                 id,
                 core,
                 kind,
@@ -264,8 +270,11 @@ impl RtProbe for EventRecorder {
     fn task_completed(&self, id: TaskId, core: usize, t_ns: u64) {
         self.record(EventKind::Completed, id, core as u32, t_ns);
     }
-    fn comm_posted(&self, id: TaskId, t_ns: u64) {
-        self.record(EventKind::CommPosted, id, u32::MAX, t_ns);
+    fn comm_posted(&self, id: TaskId, req: u64, core: usize, t_ns: u64) {
+        self.record_aux(EventKind::CommPosted, id, core as u32, t_ns, req);
+    }
+    fn comm_completed(&self, id: TaskId, req: u64, core: usize, t_ns: u64) {
+        self.record_aux(EventKind::CommCompleted, id, core as u32, t_ns, req);
     }
     fn span(&self, span: Span) {
         let lane = span.worker as usize;

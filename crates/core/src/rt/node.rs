@@ -276,11 +276,13 @@ impl RtNode {
         self.complete_with(&crate::rt::NullProbe, 0, 0)
     }
 
-    /// [`RtNode::complete`] narrated through a probe: emits `comm_posted`
-    /// (when the task carries a communication side effect),
-    /// `task_completed` on `core`, and one `task_ready` per successor this
+    /// [`RtNode::complete`] narrated through a probe: emits
+    /// `task_completed` on `core` and one `task_ready` per successor this
     /// completion released — the kernel-side emit site both back-ends
-    /// share, so their lifecycle streams cannot diverge.
+    /// share, so their lifecycle streams cannot diverge. (`comm_posted` /
+    /// `comm_completed` are emitted by the back-ends' network layers at
+    /// post and match time; for a detached comm task this completion runs
+    /// from the progress path, after the request matched.)
     pub fn complete_with(&self, probe: &dyn RtProbe, core: usize, now_ns: u64) -> Completion {
         let taken = {
             let mut links = self.links();
@@ -305,9 +307,6 @@ impl RtNode {
             }
         }
         if probe.lifecycle_enabled() {
-            if self.comm.is_some() {
-                probe.comm_posted(self.id, now_ns);
-            }
             probe.task_completed(self.id, core, now_ns);
             for succ in &out.ready {
                 probe.task_ready(succ.id, now_ns);

@@ -5,10 +5,14 @@
 //! simulator stamps them with virtual time. The emit sites live in this
 //! module's siblings — [`super::GraphInstance`] (creation, root
 //! readiness), [`super::RtNode::complete_with`] (completion, successor
-//! readiness, comm posting), [`super::ReadyQueues::pop_with`]
-//! (scheduling) and [`super::PersistentInstance`] (re-instanced creation
-//! and publication) — so a back-end cannot diverge from the shared
-//! narration. The result feeds one analysis pipeline
+//! readiness), [`super::ReadyQueues::pop_with`] (scheduling) and
+//! [`super::PersistentInstance`] (re-instanced creation and publication)
+//! — so a back-end cannot diverge from the shared narration. The two
+//! comm hooks are the one exception: posting and request completion
+//! happen inside each back-end's network layer (`crate::comm::CommWorld`
+//! post/progress paths on threads, the DES network in `ptdg-simrt`), so
+//! those layers emit them, with a shared request id correlating the
+//! pair. The result feeds one analysis pipeline
 //! ([`crate::profile::Trace`], [`crate::obs`]).
 
 use crate::profile::{Span, SpanKind, Trace};
@@ -27,8 +31,13 @@ pub trait RtProbe: Send + Sync {
     fn task_scheduled(&self, _id: TaskId, _core: usize, _t_ns: u64) {}
     /// A task finished.
     fn task_completed(&self, _id: TaskId, _core: usize, _t_ns: u64) {}
-    /// A communication operation was posted (detached task).
-    fn comm_posted(&self, _id: TaskId, _t_ns: u64) {}
+    /// A communication request was posted (detached task releases its
+    /// core). `req` is the back-end's request id, shared with the
+    /// matching [`RtProbe::comm_completed`].
+    fn comm_posted(&self, _id: TaskId, _req: u64, _core: usize, _t_ns: u64) {}
+    /// A posted communication request completed (matched / reduced);
+    /// the detached task now completes off-core.
+    fn comm_completed(&self, _id: TaskId, _req: u64, _core: usize, _t_ns: u64) {}
     /// A timed span was measured on a lane.
     fn span(&self, _span: Span) {}
     /// Whether the lifecycle hooks observe anything. Emit sites check

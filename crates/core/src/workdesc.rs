@@ -73,13 +73,20 @@ impl WorkDesc {
     }
 }
 
-/// A (simulated) MPI operation initiated from a task body.
+/// An MPI-style operation initiated from a task body.
 ///
 /// All operations are non-blocking; a task carrying a `CommOp` has OpenMP
 /// `detach` semantics — the task *completes* (and releases its successors)
 /// only when the request completes, but the executing core is released as
 /// soon as the request is posted. This mirrors Listing 1 of the paper where
 /// `MPI_Isend`/`MPI_Irecv` tasks use `detach(event)`.
+///
+/// Both back-ends implement the contract: the DES simulator routes the
+/// request through its virtual-time network, and the thread executor posts
+/// it into the in-process [`crate::comm::CommWorld`], deferring the node's
+/// completion to a progress engine polled from worker idle paths. Either
+/// way the request is narrated as `CommPosted`/`CommCompleted` events
+/// sharing a request id.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum CommOp {
     /// Non-blocking send of `bytes` to `peer` with matching `tag`.

@@ -1,0 +1,400 @@
+//! Stress and semantics tests for the in-process communication engine.
+//!
+//! The engine's unit tests (comm/engine.rs) pin single-threaded matching
+//! semantics; this suite attacks the concurrent surface: exactly-once
+//! delivery under racing post/progress threads, the detach contract on a
+//! live executor (a pending request must never occupy a core), structured
+//! `CommError`s instead of hangs for malformed programs, and the
+//! event-only tracing path recording real timestamps.
+
+use ptdg_core::access::AccessMode;
+use ptdg_core::builder::TaskSubmitter;
+use ptdg_core::comm::{CommConfig, CommWorld};
+use ptdg_core::exec::{run_program, ExecConfig, ThreadsConfig};
+use ptdg_core::handle::{DataHandle, HandleSpace};
+use ptdg_core::obs::EventKind;
+use ptdg_core::program::{Rank, RankProgram};
+use ptdg_core::rt::RtNode;
+use ptdg_core::task::{TaskId, TaskSpec};
+use ptdg_core::workdesc::CommOp;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const DEADLINE: Duration = Duration::from_secs(30);
+
+/// Exactly-once delivery under fire: one thread posts eager and
+/// rendezvous sends, one posts the matching recvs, and two more hammer
+/// the receiver's progress path concurrently. Every request id must come
+/// back exactly once on its owning side — a double delivery would
+/// double-complete an `RtNode`, a lost one would hang a successor.
+#[test]
+fn mailbox_exactly_once_under_concurrent_post_match() {
+    const M: u32 = 4000;
+    let world = Arc::new(CommWorld::new(2, CommConfig::default()));
+    let node = |id: u32| RtNode::bare(TaskId(id), "msg", None, 0);
+    // Cycle tags and sizes so matching exercises the (peer, tag) map, the
+    // unexpected queue, and both the eager and rendezvous paths at once.
+    let tag_of = |i: u32| i % 8;
+    let bytes_of = |i: u32| if i.is_multiple_of(3) { 64 * 1024 } else { 64 };
+
+    let recv_seen = Arc::new(Mutex::new(Vec::<u64>::new()));
+    let recv_count = Arc::new(AtomicUsize::new(0));
+
+    let (send_reqs, recv_reqs) = std::thread::scope(|scope| {
+        let w = Arc::clone(&world);
+        let sender = scope.spawn(move || {
+            let mut posted = Vec::with_capacity(M as usize);
+            let mut seen = Vec::with_capacity(M as usize);
+            for i in 0..M {
+                let req = w.alloc_req();
+                w.post(
+                    0,
+                    node(i),
+                    CommOp::Isend {
+                        peer: 1,
+                        bytes: bytes_of(i),
+                        tag: tag_of(i),
+                    },
+                    0,
+                    req,
+                );
+                posted.push(req);
+                while let Some(c) = w.pop_completion(0) {
+                    seen.push(c.req);
+                }
+            }
+            // Rendezvous completions arrive as the receiver matches.
+            let t0 = Instant::now();
+            while seen.len() < M as usize && t0.elapsed() < DEADLINE {
+                match w.pop_completion(0) {
+                    Some(c) => seen.push(c.req),
+                    None => std::thread::yield_now(),
+                }
+            }
+            (posted, seen)
+        });
+
+        let w = Arc::clone(&world);
+        let recv_poster = scope.spawn(move || {
+            let mut posted = Vec::with_capacity(M as usize);
+            for i in 0..M {
+                let req = w.alloc_req();
+                w.post(
+                    1,
+                    node(M + i),
+                    CommOp::Irecv {
+                        peer: 0,
+                        bytes: bytes_of(i),
+                        tag: tag_of(i),
+                    },
+                    0,
+                    req,
+                );
+                posted.push(req);
+            }
+            posted
+        });
+
+        for _ in 0..2 {
+            let w = Arc::clone(&world);
+            let seen = Arc::clone(&recv_seen);
+            let count = Arc::clone(&recv_count);
+            scope.spawn(move || {
+                let t0 = Instant::now();
+                while count.load(Ordering::SeqCst) < M as usize && t0.elapsed() < DEADLINE {
+                    w.progress(1);
+                    while let Some(c) = w.pop_completion(1) {
+                        seen.lock().unwrap().push(c.req);
+                        count.fetch_add(1, Ordering::SeqCst);
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+
+        let (send_posted, send_seen) = sender.join().unwrap();
+        let recv_posted = recv_poster.join().unwrap();
+        assert_eq!(send_seen.len(), M as usize, "every send completed");
+        let mut sorted = send_seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), M as usize, "no send completed twice");
+        let mut expect = send_posted.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect, "send completions are the posted ids");
+        (send_posted, recv_posted)
+    });
+    assert_eq!(send_reqs.len(), M as usize);
+
+    let mut got = recv_seen.lock().unwrap().clone();
+    assert_eq!(got.len(), M as usize, "every recv completed");
+    got.sort_unstable();
+    got.dedup();
+    assert_eq!(got.len(), M as usize, "no recv completed twice");
+    let mut expect = recv_reqs;
+    expect.sort_unstable();
+    assert_eq!(got, expect, "recv completions are the posted ids");
+    assert!(world.finish().is_none(), "clean world after the storm");
+}
+
+/// The detach proof: rank 0 posts an `Irecv` whose match is *withheld*
+/// until rank 1 has watched every one of rank 0's independent tasks
+/// complete. If a pending request occupied a core (no detach), rank 0's
+/// single worker could never run those tasks and rank 1's watch would
+/// time out — so a pass proves the delayed match blocked nobody.
+struct DetachProof {
+    _space: HandleSpace,
+    recv_buf: DataHandle,
+    free: Vec<DataHandle>,
+    chain: DataHandle,
+    send_buf: DataHandle,
+    free_done: Arc<AtomicUsize>,
+    snapshot: Arc<AtomicUsize>,
+    gated_ran: Arc<AtomicBool>,
+}
+
+const FREE_TASKS: usize = 16;
+
+impl DetachProof {
+    fn new() -> DetachProof {
+        let mut space = HandleSpace::new();
+        DetachProof {
+            recv_buf: space.region("recv", 64),
+            free: (0..FREE_TASKS).map(|_| space.region("free", 64)).collect(),
+            chain: space.region("chain", 64),
+            send_buf: space.region("send", 64),
+            _space: space,
+            free_done: Arc::new(AtomicUsize::new(0)),
+            snapshot: Arc::new(AtomicUsize::new(0)),
+            gated_ran: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+impl RankProgram for DetachProof {
+    fn n_ranks(&self) -> Rank {
+        2
+    }
+    fn n_iterations(&self) -> u64 {
+        1
+    }
+    fn build_iteration(&self, rank: Rank, _iter: u64, sub: &mut dyn TaskSubmitter) {
+        if rank == 0 {
+            sub.submit(
+                TaskSpec::new("recv")
+                    .depend(self.recv_buf, AccessMode::InOut)
+                    .comm(CommOp::Irecv {
+                        peer: 1,
+                        bytes: 64,
+                        tag: 0,
+                    }),
+            );
+            for h in &self.free {
+                let done = Arc::clone(&self.free_done);
+                sub.submit(
+                    TaskSpec::new("free")
+                        .depend(*h, AccessMode::InOut)
+                        .body(move |_| {
+                            done.fetch_add(1, Ordering::SeqCst);
+                        }),
+                );
+            }
+            let ran = Arc::clone(&self.gated_ran);
+            sub.submit(
+                TaskSpec::new("gated")
+                    .depend(self.recv_buf, AccessMode::In)
+                    .body(move |_| ran.store(true, Ordering::SeqCst)),
+            );
+        } else {
+            let done = Arc::clone(&self.free_done);
+            let snap = Arc::clone(&self.snapshot);
+            sub.submit(
+                TaskSpec::new("watch")
+                    .depend(self.chain, AccessMode::InOut)
+                    .body(move |_| {
+                        // Hold the send back until rank 0's independent
+                        // tasks all finished (or a deadline passed).
+                        let t0 = Instant::now();
+                        while done.load(Ordering::SeqCst) < FREE_TASKS && t0.elapsed() < DEADLINE {
+                            std::thread::yield_now();
+                        }
+                        snap.store(done.load(Ordering::SeqCst), Ordering::SeqCst);
+                    }),
+            );
+            sub.submit(
+                TaskSpec::new("send")
+                    .depend(self.chain, AccessMode::In)
+                    .depend(self.send_buf, AccessMode::InOut)
+                    .comm(CommOp::Isend {
+                        peer: 0,
+                        bytes: 64,
+                        tag: 0,
+                    }),
+            );
+        }
+    }
+}
+
+#[test]
+fn delayed_recv_match_does_not_block_worker_progress() {
+    let prog = DetachProof::new();
+    let report = run_program(
+        &prog,
+        &ThreadsConfig {
+            exec: ExecConfig {
+                n_workers: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    assert!(report.comm_error.is_none(), "well-formed program");
+    assert_eq!(
+        prog.snapshot.load(Ordering::SeqCst),
+        FREE_TASKS,
+        "rank 0's worker ran every independent task while its Irecv was \
+         still unmatched — the pending request held no core"
+    );
+    assert!(
+        prog.gated_ran.load(Ordering::SeqCst),
+        "the recv's successor ran after the match"
+    );
+    assert_eq!(report.counters.comms_posted, 2);
+    assert_eq!(report.counters.comms_completed, 2);
+}
+
+/// A two-rank program where `malformed` selects the failure shape.
+struct Lopsided {
+    _space: HandleSpace,
+    buf: Vec<DataHandle>,
+    work: Vec<DataHandle>,
+    op: CommOp,
+}
+
+impl Lopsided {
+    fn new(op: CommOp) -> Lopsided {
+        let mut space = HandleSpace::new();
+        Lopsided {
+            buf: (0..2).map(|_| space.region("buf", 64)).collect(),
+            work: (0..2).map(|_| space.region("work", 64)).collect(),
+            _space: space,
+            op,
+        }
+    }
+}
+
+impl RankProgram for Lopsided {
+    fn n_ranks(&self) -> Rank {
+        2
+    }
+    fn n_iterations(&self) -> u64 {
+        1
+    }
+    fn build_iteration(&self, rank: Rank, _iter: u64, sub: &mut dyn TaskSubmitter) {
+        let r = rank as usize;
+        sub.submit(TaskSpec::new("work").depend(self.work[r], AccessMode::InOut));
+        if rank == 0 {
+            sub.submit(
+                TaskSpec::new("lonely")
+                    .depend(self.buf[r], AccessMode::InOut)
+                    .comm(self.op),
+            );
+        }
+    }
+}
+
+/// An `Irecv` nobody answers must end as a structured error naming the
+/// exact (rank, peer, tag) triple — via the termination detector, since
+/// the receiver would otherwise block in its end-of-run barrier forever.
+#[test]
+fn unmatched_recv_is_a_structured_error_not_a_hang() {
+    let prog = Lopsided::new(CommOp::Irecv {
+        peer: 1,
+        bytes: 64,
+        tag: 9,
+    });
+    let report = run_program(&prog, &ThreadsConfig::default());
+    let err = report.comm_error.expect("detector reported the orphan");
+    assert_eq!(err.unmatched.len(), 1);
+    let u = &err.unmatched[0];
+    assert_eq!((u.rank, u.peer, u.tag, u.op), (0, 1, 9, "Irecv"));
+}
+
+/// An eager send nobody receives completes its *sender*, so no deadlock
+/// ever forms — the leftover envelope must still surface as the same
+/// structured error at the end of the run.
+#[test]
+fn unreceived_eager_send_is_a_structured_error() {
+    let prog = Lopsided::new(CommOp::Isend {
+        peer: 1,
+        bytes: 64,
+        tag: 4,
+    });
+    let report = run_program(&prog, &ThreadsConfig::default());
+    assert_eq!(report.counters.comms_posted, 1);
+    assert_eq!(report.counters.comms_completed, 1, "eager sender completed");
+    let err = report.comm_error.expect("leftover envelope reported");
+    assert_eq!(err.unmatched.len(), 1);
+    let u = &err.unmatched[0];
+    assert_eq!((u.rank, u.peer, u.tag, u.op), (0, 1, 4, "Isend"));
+}
+
+/// Event-only tracing regression: with `record_events` on but `profile`
+/// off, lifecycle events must carry real clock readings. (The old code
+/// gated the clock on `profile` alone and stamped every event 0.)
+struct Tiny {
+    _space: HandleSpace,
+    h: DataHandle,
+}
+
+impl RankProgram for Tiny {
+    fn n_iterations(&self) -> u64 {
+        1
+    }
+    fn build_iteration(&self, _rank: Rank, _iter: u64, sub: &mut dyn TaskSubmitter) {
+        for _ in 0..3 {
+            sub.submit(
+                TaskSpec::new("t")
+                    .depend(self.h, AccessMode::InOut)
+                    .body(|_| std::thread::yield_now()),
+            );
+        }
+    }
+}
+
+#[test]
+fn event_only_tracing_records_real_timestamps() {
+    let mut space = HandleSpace::new();
+    let prog = Tiny {
+        h: space.region("h", 64),
+        _space: space,
+    };
+    let report = run_program(
+        &prog,
+        &ThreadsConfig {
+            exec: ExecConfig {
+                record_events: true,
+                profile: false,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    assert!(report.trace.is_none(), "no span trace without profiling");
+    assert!(
+        !report.events.is_empty(),
+        "events recorded without profiling"
+    );
+    for e in &report.events {
+        if matches!(e.kind, EventKind::Scheduled | EventKind::Completed) {
+            assert!(
+                e.t_ns > 0,
+                "{:?} for task {} stamped t=0 — the event clock must not \
+                 be gated on profiling",
+                e.kind,
+                e.id.0
+            );
+        }
+    }
+}

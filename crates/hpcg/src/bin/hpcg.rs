@@ -5,7 +5,7 @@
 //! cargo run --release -p ptdg-hpcg --bin hpcg -- --nx 12 --iters 30 --tpl 16
 //! ```
 
-use ptdg_core::exec::{ExecConfig, Executor, SchedPolicy};
+use ptdg_core::exec::{run_program, ExecConfig, Executor, SchedPolicy, ThreadsConfig};
 use ptdg_core::obs::{chrome_trace, critical_path};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::throttle::ThrottleConfig;
@@ -20,6 +20,7 @@ fn main() {
     let mut workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let mut ranks = 1usize;
     let mut trace: Option<PathBuf> = None;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut k = 0;
@@ -30,6 +31,7 @@ fn main() {
             ("--iters", Some(v)) => iters = v as u64,
             ("--tpl", Some(v)) => tpl = v,
             ("--workers", Some(v)) => workers = v,
+            ("--ranks", Some(v)) => ranks = v,
             ("--trace", _) => match argv.get(k + 1) {
                 Some(p) => trace = Some(PathBuf::from(p)),
                 None => {
@@ -39,7 +41,8 @@ fn main() {
             },
             ("-h", _) | ("--help", _) => {
                 eprintln!(
-                    "usage: hpcg [--nx N] [--iters I] [--tpl B] [--workers W] [--trace out.json]"
+                    "usage: hpcg [--nx N] [--iters I] [--tpl B] [--workers W] [--ranks P³] \
+                     [--trace out.json]"
                 );
                 return;
             }
@@ -51,6 +54,56 @@ fn main() {
         k += 2;
     }
 
+    if ranks > 1 {
+        // Cost-model mode: concurrent rank pools over the in-process
+        // network (halo exchanges + dot-product all-reduces), no numeric
+        // state.
+        let px = (ranks as f64).cbrt().round() as usize;
+        if px * px * px != ranks {
+            eprintln!("--ranks {ranks} is not a perfect cube");
+            std::process::exit(2);
+        }
+        let cfg = HpcgConfig {
+            px,
+            ..HpcgConfig::single(nx, iters, tpl)
+        };
+        let prog = HpcgTask::new(cfg);
+        let t0 = std::time::Instant::now();
+        let report = run_program(
+            &prog,
+            &ThreadsConfig {
+                exec: ExecConfig {
+                    n_workers: workers,
+                    policy: SchedPolicy::DepthFirst,
+                    throttle: ThrottleConfig::mpc_default(),
+                    profile: false,
+                    record_events: false,
+                },
+                opts: OptConfig::all(),
+                ..Default::default()
+            },
+        );
+        println!(
+            "CG {nx}\u{b3}/rank, {iters} iterations on {} ranks x {workers} workers \
+             (cost model): {} tasks, {} comms posted / {} completed, {:.3}s",
+            report.n_ranks,
+            report.counters.tasks_completed,
+            report.counters.comms_posted,
+            report.counters.comms_completed,
+            t0.elapsed().as_secs_f64()
+        );
+        for (r, c) in report.per_rank_counters.iter().enumerate() {
+            println!(
+                "  rank {r}: {} tasks, {} posted / {} completed, {} unexpected",
+                c.tasks_completed, c.comms_posted, c.comms_completed, c.unexpected_msgs
+            );
+        }
+        if let Some(err) = &report.comm_error {
+            eprintln!("{err}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let cfg = HpcgConfig::single(nx, iters, tpl);
     let prog = HpcgTask::with_state(cfg.clone());
     let exec = Executor::new(ExecConfig {
@@ -58,6 +111,7 @@ fn main() {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::mpc_default(),
         profile: trace.is_some(),
+        record_events: false,
     });
     let t0 = std::time::Instant::now();
     // with --trace, capture the streamed graph for the critical-path walk

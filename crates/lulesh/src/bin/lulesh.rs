@@ -6,12 +6,12 @@
 //! cargo run --release -p ptdg-lulesh --bin lulesh -- -s 12 -i 20 -tel 32
 //! ```
 
-use ptdg_core::exec::{ExecConfig, Executor, SchedPolicy};
+use ptdg_core::exec::{run_program, ExecConfig, Executor, SchedPolicy, ThreadsConfig};
 use ptdg_core::obs::{chrome_trace, critical_path};
 use ptdg_core::opts::OptConfig;
 use ptdg_core::throttle::ThrottleConfig;
 use ptdg_lulesh::sequential::run_sequential;
-use ptdg_lulesh::{LuleshConfig, LuleshTask};
+use ptdg_lulesh::{LuleshConfig, LuleshTask, RankGrid};
 use ptdg_simrt::RankProgram;
 use std::path::PathBuf;
 
@@ -20,6 +20,7 @@ struct Args {
     i: u64,
     tel: usize,
     workers: usize,
+    ranks: usize,
     parallel_for: bool,
     persistent: bool,
     trace: Option<PathBuf>,
@@ -33,6 +34,7 @@ fn parse() -> Result<Args, String> {
         workers: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
+        ranks: 1,
         parallel_for: false,
         persistent: true,
         trace: None,
@@ -52,6 +54,7 @@ fn parse() -> Result<Args, String> {
             "-i" => args.i = next(&mut k)? as u64,
             "-tel" => args.tel = next(&mut k)?,
             "-t" | "--workers" => args.workers = next(&mut k)?,
+            "--ranks" => args.ranks = next(&mut k)?,
             "--parallel-for" => args.parallel_for = true,
             "--no-persistent" => args.persistent = false,
             "--trace" => {
@@ -62,7 +65,8 @@ fn parse() -> Result<Args, String> {
             }
             "-h" | "--help" => {
                 return Err("usage: lulesh [-s edge] [-i iters] [-tel tasks-per-loop] \
-                     [-t workers] [--parallel-for] [--no-persistent] [--trace out.json]"
+                     [-t workers-per-rank] [--ranks P³] [--parallel-for] [--no-persistent] \
+                     [--trace out.json]"
                     .into())
             }
             other => return Err(format!("unknown flag {other} (try --help)")),
@@ -95,6 +99,72 @@ fn main() {
         );
         return;
     }
+    if args.ranks > 1 {
+        // Cost-model mode: every rank's task stream runs concurrently on
+        // its own worker pool, halo exchanges go through the in-process
+        // network with detached completion. No numeric state — task
+        // bodies carry work descriptors only, like the simulator's.
+        let px = (args.ranks as f64).cbrt().round() as usize;
+        if px * px * px != args.ranks {
+            eprintln!("--ranks {} is not a perfect cube", args.ranks);
+            std::process::exit(2);
+        }
+        let cfg = LuleshConfig {
+            grid: RankGrid::cube(args.ranks),
+            ..LuleshConfig::single(args.s, args.i, args.tel)
+        };
+        let prog = LuleshTask::new(cfg);
+        let report = run_program(
+            &prog,
+            &ThreadsConfig {
+                exec: ExecConfig {
+                    n_workers: args.workers,
+                    policy: SchedPolicy::DepthFirst,
+                    throttle: ThrottleConfig::mpc_default(),
+                    profile: args.trace.is_some(),
+                    record_events: false,
+                },
+                opts: OptConfig::all(),
+                persistent: args.persistent,
+                ..Default::default()
+            },
+        );
+        println!(
+            "task LULESH -s {} -i {} -tel {} on {} ranks x {} workers (cost model): \
+             {} tasks, {} comms posted / {} completed, {:.3}s",
+            args.s,
+            args.i,
+            args.tel,
+            report.n_ranks,
+            args.workers,
+            report.counters.tasks_completed,
+            report.counters.comms_posted,
+            report.counters.comms_completed,
+            t0.elapsed().as_secs_f64()
+        );
+        for (r, c) in report.per_rank_counters.iter().enumerate() {
+            println!(
+                "  rank {r}: {} tasks, {} posted / {} completed, {} unexpected",
+                c.tasks_completed, c.comms_posted, c.comms_completed, c.unexpected_msgs
+            );
+        }
+        if let (Some(path), Some(trace)) = (&args.trace, &report.trace) {
+            let doc = chrome_trace(trace, &report.events, &report.counters);
+            if let Err(e) = std::fs::write(path, doc.render() + "\n") {
+                eprintln!("failed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!(
+                "chrome trace of rank 0 written to {} (load at https://ui.perfetto.dev)",
+                path.display()
+            );
+        }
+        if let Some(err) = &report.comm_error {
+            eprintln!("{err}");
+            std::process::exit(1);
+        }
+        return;
+    }
     let cfg = LuleshConfig::single(args.s, args.i, args.tel);
     let prog = LuleshTask::with_state(cfg.clone());
     let exec = Executor::new(ExecConfig {
@@ -102,6 +172,7 @@ fn main() {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::mpc_default(),
         profile: args.trace.is_some(),
+        record_events: false,
     });
     let (graph, stats) = if args.persistent {
         let mut region = exec.persistent_region(OptConfig::all());

@@ -24,8 +24,9 @@ use ptdg_simrt::{simulate_tasks, MachineConfig, SimConfig, SimReport};
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum Backend {
-    /// The wall-clock thread pool (ranks sequential, comm side effects
-    /// are no-ops).
+    /// The wall-clock thread pool. Ranks run concurrently (one executor
+    /// pool each) and communicate through a shared in-process network
+    /// with detached completion — the same contract the simulator models.
     Threads(ThreadsConfig),
     /// The virtual-time DES with cache, DRAM-contention and network
     /// models.
@@ -97,8 +98,8 @@ impl RunOutcome {
         }
     }
 
-    /// Kernel counters, merged over ranks (zeroed unless the run
-    /// profiled: `ExecConfig::profile` or any `record_trace_rank`).
+    /// Kernel counters, merged over ranks (always filled on the thread
+    /// back-end; the simulator fills every rank's too).
     pub fn counters(&self) -> RtCounters {
         match self {
             RunOutcome::Threads(r) => r.counters,
@@ -128,6 +129,23 @@ impl RunOutcome {
             RunOutcome::Sim(r) => r.trace.as_ref(),
         }
     }
+
+    /// Kernel counters per rank.
+    pub fn per_rank_counters(&self) -> Vec<RtCounters> {
+        match self {
+            RunOutcome::Threads(r) => r.per_rank_counters.clone(),
+            RunOutcome::Sim(r) => r.ranks.iter().map(|rank| rank.counters).collect(),
+        }
+    }
+
+    /// Communication requests that could never match, if any — the same
+    /// structured error on both back-ends.
+    pub fn comm_error(&self) -> Option<&ptdg_core::comm::CommError> {
+        match self {
+            RunOutcome::Threads(r) => r.comm_error.as_ref(),
+            RunOutcome::Sim(r) => r.comm_error.as_ref(),
+        }
+    }
 }
 
 /// Run `program` on the chosen back-end.
@@ -136,7 +154,11 @@ impl RunOutcome {
 /// simulator additionally resolves task footprints against it (its block
 /// size must match the machine's memory model), while the thread back-end
 /// only needs it to have been used consistently by the program.
-pub fn run(space: &HandleSpace, program: &dyn RankProgram, backend: Backend) -> RunOutcome {
+pub fn run(
+    space: &HandleSpace,
+    program: &(dyn RankProgram + Sync),
+    backend: Backend,
+) -> RunOutcome {
     match backend {
         Backend::Threads(cfg) => RunOutcome::Threads(run_program(program, &cfg)),
         Backend::Sim { machine, cfg } => {

@@ -41,6 +41,10 @@ pub struct Network {
     unmatched_recvs: HashMap<(Rank, Rank, u32), VecDeque<PendingRecv>>,
     round_of_rank: Vec<u32>,
     rounds: Vec<CollectiveState>,
+    /// Per-rank tally of receives that matched an already-parked send —
+    /// the message was "unexpected" at the receiver (it arrived before
+    /// the receive was posted).
+    unexpected: Vec<u64>,
 }
 
 impl Network {
@@ -55,6 +59,7 @@ impl Network {
             unmatched_recvs: HashMap::new(),
             round_of_rank: vec![0; n_ranks as usize],
             rounds: Vec::new(),
+            unexpected: vec![0; n_ranks as usize],
         }
     }
 
@@ -172,6 +177,9 @@ impl Network {
             .unmatched_sends
             .get_mut(&key)
             .and_then(|q| q.pop_front());
+        if matched.is_some() {
+            self.unexpected[dst as usize] += 1;
+        }
         match matched {
             Some(send) if self.cfg.is_rendezvous(send.bytes) => {
                 let start = now.max(send.posted) + self.cfg.rendezvous_rtt;
@@ -234,6 +242,43 @@ impl Network {
     /// Whether every posted request has completed (end-of-run sanity).
     pub fn all_complete(&self) -> bool {
         self.requests.iter().all(|r| r.completed_at.is_some())
+    }
+
+    /// Unexpected-message count observed by `rank` so far.
+    pub fn unexpected_count(&self, rank: Rank) -> u64 {
+        self.unexpected[rank as usize]
+    }
+
+    /// Everything still parked in the matching state at end of run:
+    /// `(owner, peer, tag, op)` tuples for unmatched sends and receives,
+    /// plus one `(rank, u32::MAX, round, "Iallreduce")` entry per joined
+    /// rank of every collective round still missing participants. A
+    /// parked *eager* send appears here even though its request completed
+    /// — the message was still never received. Sorted for stable
+    /// reporting.
+    pub fn unmatched(&self) -> Vec<(Rank, Rank, u32, &'static str)> {
+        let mut out: Vec<(Rank, Rank, u32, &'static str)> = Vec::new();
+        for (&(src, dst, tag), q) in &self.unmatched_sends {
+            for _ in q {
+                out.push((src, dst, tag, "Isend"));
+            }
+        }
+        for (&(src, dst, tag), q) in &self.unmatched_recvs {
+            for _ in q {
+                out.push((dst, src, tag, "Irecv"));
+            }
+        }
+        for (round, coll) in self.rounds.iter().enumerate() {
+            if coll.n_joined > 0 && (coll.n_joined as usize) < coll.joined.len() {
+                for (rank, slot) in coll.joined.iter().enumerate() {
+                    if slot.is_some() {
+                        out.push((rank as Rank, u32::MAX, round as u32, "Iallreduce"));
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
     }
 
     /// Total communication time on `rank` over tracked requests (send and

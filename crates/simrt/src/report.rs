@@ -120,6 +120,10 @@ pub struct SimReport {
     /// Lifecycle event stream of the rank selected by
     /// `SimConfig::record_trace_rank` (virtual time, already zero-based).
     pub events: Vec<RtEvent>,
+    /// Communication requests that could never match (the run deadlocked
+    /// on them, or finished with messages nobody received). `None` on a
+    /// well-formed run. Same shape the thread back-end reports.
+    pub comm_error: Option<ptdg_core::comm::CommError>,
 }
 
 impl SimReport {

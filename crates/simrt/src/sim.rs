@@ -22,6 +22,7 @@ use crate::machine::MachineConfig;
 use crate::program::RankProgram;
 use crate::report::{RankReport, SimReport};
 use ptdg_core::builder::RecordingSubmitter;
+use ptdg_core::comm::{CommError, UnmatchedComm};
 use ptdg_core::graph::{DiscoveryEngine, DiscoveryStats};
 use ptdg_core::handle::HandleSpace;
 use ptdg_core::obs::{EventRecorder, EVENT_RING_CAPACITY};
@@ -174,6 +175,8 @@ struct RankState {
     throttle_stalls: u64,
     throttle_stall_ns: u64,
     comms_posted: u64,
+    comms_completed: u64,
+    comm_wait_ns: u64,
     rng: SplitRng,
 }
 
@@ -332,6 +335,8 @@ impl<'p> TaskSim<'p> {
                     throttle_stalls: 0,
                     throttle_stall_ns: 0,
                     comms_posted: 0,
+                    comms_completed: 0,
+                    comm_wait_ns: 0,
                     rng: SplitRng::new(cfg.seed.wrapping_add(r as u64 * 0x9E37_79B9)),
                 }
             })
@@ -777,6 +782,8 @@ impl<'p> TaskSim<'p> {
         let tracked = !matches!(op, CommOp::Irecv { .. });
         let st = &mut self.ranks[rank as usize];
         st.comms_posted += 1;
+        let id = st.node(node).id;
+        st.probe.comm_posted(id, req.0, core as usize, t1.as_ns());
         if tracked {
             st.acc_overlap(t1);
             st.open_tracked += 1;
@@ -812,7 +819,15 @@ impl<'p> TaskSim<'p> {
             st.acc_overlap(now);
             st.open_tracked -= 1;
         }
-        self.ranks[rank as usize].tasks_executed += 1;
+        let posted_at = self.net.request(req).posted_at;
+        let st = &mut self.ranks[rank as usize];
+        st.tasks_executed += 1;
+        st.comms_completed += 1;
+        st.comm_wait_ns += now.as_ns().saturating_sub(posted_at.as_ns());
+        // Completion happens off-core (the DES analogue of the thread
+        // engine's progress path): no core column in the event.
+        let id = st.node(node).id;
+        st.probe.comm_completed(id, req.0, usize::MAX, now.as_ns());
         self.complete_node(rank, node, None, now);
     }
 
@@ -821,10 +836,15 @@ impl<'p> TaskSim<'p> {
     fn finalize(&mut self) -> SimReport {
         let n_iters = self.program.n_iterations();
         let mut report = SimReport::default();
+        // Anything still parked in the network explains non-quiescent
+        // ranks; surface it as the same structured error the thread
+        // engine reports instead of aborting the process.
+        let unmatched = self.net.unmatched();
         for (r, st) in self.ranks.iter_mut().enumerate() {
             assert!(
-                st.tracker.quiescent(),
-                "rank {r}: deadlock — {} tasks never completed",
+                st.tracker.quiescent() || !unmatched.is_empty(),
+                "rank {r}: deadlock — {} tasks never completed, yet no \
+                 unmatched communication (kernel bug)",
                 st.tracker.live()
             );
             let span_end = st.last_event;
@@ -859,6 +879,9 @@ impl<'p> TaskSim<'p> {
             counters.throttle_stall_ns = st.throttle_stall_ns;
             counters.persistent_reuses = st.pinst.as_ref().map_or(0, |p| p.reuses());
             counters.comms_posted = st.comms_posted;
+            counters.comms_completed = st.comms_completed;
+            counters.comm_wait_ns = st.comm_wait_ns;
+            counters.unexpected_msgs = self.net.unexpected_count(r as u32);
             if !obs.events.is_empty() {
                 report.events = obs.events;
             }
@@ -904,7 +927,19 @@ impl<'p> TaskSim<'p> {
                 });
             }
         }
-        assert!(self.net.all_complete(), "unmatched communication requests");
+        if !unmatched.is_empty() {
+            report.comm_error = Some(CommError {
+                unmatched: unmatched
+                    .into_iter()
+                    .map(|(rank, peer, tag, op)| UnmatchedComm {
+                        rank,
+                        peer,
+                        tag,
+                        op,
+                    })
+                    .collect(),
+            });
+        }
         report
     }
 }

@@ -21,6 +21,7 @@ fn main() {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::mpc_default(),
         profile: false,
+        record_events: false,
     });
     let mut region = exec.persistent_region(OptConfig::all());
     for iter in 0..cfg.iterations {

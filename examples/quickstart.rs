@@ -22,6 +22,7 @@ fn main() {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::mpc_default(),
         profile: true,
+        record_events: false,
     });
 
     // 3. Stream a small iterative stencil program through a *persistent

@@ -70,7 +70,7 @@ fn sim_backend(opts: OptConfig, persistent: bool, n_ranks: u32) -> Backend {
 /// by rank (plus basic task/edge counters from discovery).
 fn assert_same_graphs(
     space: &HandleSpace,
-    prog: &dyn RankProgram,
+    prog: &(dyn RankProgram + Sync),
     opts: OptConfig,
     persistent: bool,
 ) {
@@ -360,6 +360,151 @@ fn assert_submission_paths_equivalent(
         let (sa, sb) = (a.stats(), b.stats());
         assert_eq!(sa.tasks, sb.tasks, "{backend}: task counters");
         assert_eq!(sa.depend_items, sb.depend_items, "{backend}: depend items");
+    }
+}
+
+// ---- comm-heavy random programs -----------------------------------------
+
+/// A random *symmetric exchange* program: per round `(d, tag, bytes)`,
+/// every rank sends to `(r + d) % n` and receives from `(r - d) % n` with
+/// the same tag, so every request matches by construction whatever the
+/// interleaving; an optional all-reduce rides along. Sizes straddle the
+/// eager threshold so both completion paths are exercised. The thread
+/// back-end's network and the DES network must agree on every comm
+/// counter, globally and per rank.
+struct CommRandom {
+    space: HandleSpace,
+    n_ranks: u32,
+    iters: u64,
+    rounds: Vec<(u32, u32, u64)>,
+    allreduce: bool,
+    send: Vec<Vec<ptdg::core::handle::DataHandle>>,
+    recv: Vec<Vec<ptdg::core::handle::DataHandle>>,
+    red: Vec<ptdg::core::handle::DataHandle>,
+    work: Vec<ptdg::core::handle::DataHandle>,
+}
+
+impl CommRandom {
+    fn new(n_ranks: u32, iters: u64, mut rounds: Vec<(u32, u32, u64)>, allreduce: bool) -> Self {
+        for (d, _, _) in &mut rounds {
+            *d = 1 + (*d - 1) % (n_ranks - 1); // a valid nonzero ring offset
+        }
+        let mut space = HandleSpace::new();
+        let per_rank_round = |space: &mut HandleSpace, name| {
+            (0..n_ranks)
+                .map(|_| (0..rounds.len()).map(|_| space.region(name, 64)).collect())
+                .collect()
+        };
+        CommRandom {
+            send: per_rank_round(&mut space, "send"),
+            recv: per_rank_round(&mut space, "recv"),
+            red: (0..n_ranks).map(|_| space.region("red", 64)).collect(),
+            work: (0..n_ranks).map(|_| space.region("work", 64)).collect(),
+            space,
+            n_ranks,
+            iters,
+            rounds,
+            allreduce,
+        }
+    }
+}
+
+impl RankProgram for CommRandom {
+    fn n_ranks(&self) -> Rank {
+        self.n_ranks
+    }
+    fn n_iterations(&self) -> u64 {
+        self.iters
+    }
+    fn build_iteration(
+        &self,
+        rank: Rank,
+        _iter: u64,
+        sub: &mut dyn ptdg::core::builder::TaskSubmitter,
+    ) {
+        use ptdg::core::workdesc::CommOp;
+        let (r, n) = (rank as usize, self.n_ranks);
+        sub.submit(TaskSpec::new("work").depend(self.work[r], AccessMode::InOut));
+        for (k, &(d, tag, bytes)) in self.rounds.iter().enumerate() {
+            sub.submit(
+                TaskSpec::new("send")
+                    .depend(self.send[r][k], AccessMode::InOut)
+                    .comm(CommOp::Isend {
+                        peer: (rank + d) % n,
+                        bytes,
+                        tag,
+                    }),
+            );
+            sub.submit(
+                TaskSpec::new("recv")
+                    .depend(self.recv[r][k], AccessMode::InOut)
+                    .comm(CommOp::Irecv {
+                        peer: (rank + n - d) % n,
+                        bytes,
+                        tag,
+                    }),
+            );
+            sub.submit(
+                TaskSpec::new("consume")
+                    .depend(self.recv[r][k], AccessMode::In)
+                    .depend(self.work[r], AccessMode::InOut),
+            );
+        }
+        if self.allreduce {
+            sub.submit(
+                TaskSpec::new("reduce")
+                    .depend(self.red[r], AccessMode::InOut)
+                    .comm(CommOp::Iallreduce { bytes: 8 }),
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn comm_heavy_random_programs_agree_across_backends(
+        n_ranks in 2..=4u32,
+        iters in 1..=2u64,
+        rounds in prop::collection::vec(
+            (1..=3u32, 0..=3u32, prop_oneof![Just(64u64), Just(40_000u64)]),
+            1..=4,
+        ),
+        all_opts in 0..2u8,
+    ) {
+        let opts = if all_opts == 1 { OptConfig::all() } else { OptConfig::none() };
+        let n_rounds = rounds.len() as u64;
+        let prog = CommRandom::new(n_ranks, iters, rounds, true);
+        let t = run(
+            &prog.space,
+            &prog,
+            Backend::Threads(ThreadsConfig {
+                exec: ExecConfig { n_workers: 2, ..Default::default() },
+                opts,
+                ..Default::default()
+            }),
+        );
+        let s = run(&prog.space, &prog, sim_backend(opts, false, n_ranks));
+        assert!(t.comm_error().is_none(), "threads: {:?}", t.comm_error());
+        assert!(s.comm_error().is_none(), "sim: {:?}", s.comm_error());
+        let (tc, sc) = (t.counters(), s.counters());
+        // 2 p2p requests per round plus the all-reduce, per rank per iter.
+        let expect = (2 * n_rounds + 1) * n_ranks as u64 * iters;
+        assert_eq!(tc.comms_posted, expect);
+        assert_eq!(tc.comms_posted, sc.comms_posted, "posted");
+        assert_eq!(tc.comms_completed, sc.comms_completed, "completed");
+        assert_eq!(tc.comms_posted, tc.comms_completed, "threads drained");
+        let (tr, sr) = (t.per_rank_counters(), s.per_rank_counters());
+        assert_eq!(tr.len(), n_ranks as usize);
+        assert_eq!(sr.len(), n_ranks as usize);
+        for (r, (a, b)) in tr.iter().zip(&sr).enumerate() {
+            assert_eq!(a.tasks_created, b.tasks_created, "rank {r} created");
+            assert_eq!(a.tasks_completed, b.tasks_completed, "rank {r} completed");
+            assert_eq!(a.comms_posted, b.comms_posted, "rank {r} posted");
+            assert_eq!(a.comms_completed, b.comms_completed, "rank {r} comm-completed");
+            assert_eq!(a.comms_posted, a.comms_completed, "rank {r} drained");
+        }
     }
 }
 

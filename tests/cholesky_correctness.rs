@@ -12,6 +12,7 @@ fn executor(workers: usize) -> Executor {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::unbounded(),
         profile: false,
+        record_events: false,
     })
 }
 

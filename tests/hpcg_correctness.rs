@@ -12,6 +12,7 @@ fn executor(workers: usize, policy: SchedPolicy) -> Executor {
         policy,
         throttle: ThrottleConfig::unbounded(),
         profile: false,
+        record_events: false,
     })
 }
 

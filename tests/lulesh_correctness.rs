@@ -16,6 +16,7 @@ fn executor(workers: usize, policy: SchedPolicy) -> Executor {
         policy,
         throttle: ThrottleConfig::unbounded(),
         profile: false,
+        record_events: false,
     })
 }
 
@@ -134,6 +135,7 @@ fn throttled_execution_matches() {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::ready_bound(4),
         profile: false,
+        record_events: false,
     });
     let mut session = exec.session(OptConfig::all());
     for iter in 0..cfg.iterations {

@@ -116,7 +116,7 @@ fn lifecycle_sequences_identical_across_backends() {
     let s = run(&prog.space, &prog, sim_profiled(OptConfig::all(), false));
     assert_same_sequences(&t, &s);
 
-    // All five kernel hooks fired on both back-ends.
+    // All six kernel hooks fired on both back-ends.
     for (label, outcome) in [("threads", &t), ("sim", &s)] {
         let kinds: std::collections::HashSet<EventKind> =
             outcome.events().iter().map(|e| e.kind).collect();
@@ -125,6 +125,7 @@ fn lifecycle_sequences_identical_across_backends() {
             EventKind::Ready,
             EventKind::Scheduled,
             EventKind::CommPosted,
+            EventKind::CommCompleted,
             EventKind::Completed,
         ] {
             assert!(kinds.contains(&kind), "{label}: no {kind:?} event");
@@ -132,8 +133,9 @@ fn lifecycle_sequences_identical_across_backends() {
     }
 
     // Per-shape sequences: ordinary tasks pass through all four ordinary
-    // states; the comm task inserts CommPosted before Completed; redirect
-    // nodes skip Scheduled entirely.
+    // states; the comm task detaches (CommPosted) and completes off-core
+    // when its request matches (CommCompleted) before the kernel retires
+    // it; redirect nodes skip Scheduled entirely.
     let graphs = run(
         &prog.space,
         &prog,
@@ -164,6 +166,7 @@ fn lifecycle_sequences_identical_across_backends() {
                     EventKind::Ready,
                     EventKind::Scheduled,
                     EventKind::CommPosted,
+                    EventKind::CommCompleted,
                     EventKind::Completed,
                 ],
                 "comm task {id:?}"

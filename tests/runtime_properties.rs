@@ -184,6 +184,7 @@ proptest! {
             policy: SchedPolicy::DepthFirst,
             throttle: ThrottleConfig::unbounded(),
             profile: false,
+            record_events: false,
         });
         let mut session = exec.session(OptConfig::all());
         for (t, deps) in deduped.iter().enumerate() {
@@ -261,6 +262,7 @@ fn inoutset_barrier_semantics_under_stress() {
             policy: SchedPolicy::DepthFirst,
             throttle: ThrottleConfig::unbounded(),
             profile: false,
+            record_events: false,
         });
         let m = 3 + (trial % 5);
         let done = Arc::new(AtomicUsize::new(0));

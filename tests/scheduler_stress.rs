@@ -32,6 +32,7 @@ fn cfg(workers: usize) -> ExecConfig {
         policy: SchedPolicy::DepthFirst,
         throttle: ThrottleConfig::unbounded(),
         profile: false,
+        record_events: false,
     }
 }
 
